@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation study of UFC's algorithm-hardware co-design choices
+ * (Section IV-C and IV-B5): automorphism-via-NTT, on-the-fly key
+ * generation, and small-polynomial packing are each toggled off to show
+ * their individual contribution.
+ */
+
+#include "bench_util.h"
+#include "sim/accelerator.h"
+#include "workloads/workloads.h"
+
+using namespace ufc;
+
+namespace {
+
+double
+suiteSeconds(const sim::UfcModel &model,
+             const std::vector<trace::Trace> &suite)
+{
+    double total = 0.0;
+    for (const auto &tr : suite)
+        total += model.run(tr).seconds;
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Ablation: UFC algorithm-hardware co-design choices",
+                  "design choices of Sections IV-B5/IV-C/V-A");
+
+    const auto cp = ckks::CkksParams::c2();
+    const auto ckksSuite = workloads::ckksSuite(cp);
+    const auto tp = tfhe::TfheParams::t2();
+    const auto pbs = workloads::pbsThroughput(tp, 512);
+
+    const sim::UfcModel base;
+    const double ckksBase = suiteSeconds(base, ckksSuite);
+    const double tfheBase = base.run(pbs).seconds;
+
+    std::printf("%-36s %14s %14s\n", "configuration", "CKKS suite",
+                "TFHE PBS-512");
+    std::printf("%-36s %13.2fx %13.2fx\n", "UFC (all optimizations)", 1.0,
+                1.0);
+
+    {
+        auto cfg = sim::UfcConfig::tableII();
+        cfg.onTheFlyKeyGen = false;
+        sim::UfcModel m(cfg);
+        std::printf("%-36s %13.2fx %13.2fx\n", "- on-the-fly key gen",
+                    suiteSeconds(m, ckksSuite) / ckksBase,
+                    m.run(pbs).seconds / tfheBase);
+    }
+    {
+        auto cfg = sim::UfcConfig::tableII();
+        cfg.smallPolyPacking = false;
+        sim::UfcModel m(cfg);
+        std::printf("%-36s %13.2fx %13.2fx\n",
+                    "- small-polynomial packing",
+                    suiteSeconds(m, ckksSuite) / ckksBase,
+                    m.run(pbs).seconds / tfheBase);
+    }
+    {
+        // CoLP instead of TvLP (keeps packing, changes the schedule).
+        sim::UfcModel m(sim::UfcConfig::tableII(),
+                        compiler::Parallelism::CoLP);
+        std::printf("%-36s %13.2fx %13.2fx\n", "- TvLP (CoLP scheduling)",
+                    suiteSeconds(m, ckksSuite) / ckksBase,
+                    m.run(pbs).seconds / tfheBase);
+    }
+    {
+        // Splitting the CG network (the Figure 13 pessimal point).
+        auto cfg = sim::UfcConfig::tableII();
+        cfg.cgNetworks = 4;
+        sim::UfcModel m(cfg);
+        std::printf("%-36s %13.2fx %13.2fx\n", "- single CG network (4x)",
+                    suiteSeconds(m, ckksSuite) / ckksBase,
+                    m.run(pbs).seconds / tfheBase);
+    }
+
+    bench::footnote("values are slowdown factors relative to the full "
+                    "configuration (higher = that optimization mattered "
+                    "more).");
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared formatting helpers for the figure/table reproduction binaries.
+ */
+
+#ifndef UFC_BENCH_BENCH_UTIL_H
+#define UFC_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace ufc {
+namespace bench {
+
+inline void
+header(const std::string &title, const std::string &paperRef)
+{
+    std::printf("\n================================================="
+                "=============================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("(reproduces %s)\n", paperRef.c_str());
+    std::printf("==================================================="
+                "===========================\n");
+}
+
+inline void
+footnote(const std::string &text)
+{
+    std::printf("note: %s\n", text.c_str());
+}
+
+} // namespace bench
+} // namespace ufc
+
+#endif // UFC_BENCH_BENCH_UTIL_H

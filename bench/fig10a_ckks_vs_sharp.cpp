@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 10(a): SIMD-scheme (CKKS) workloads on UFC versus SHARP —
+ * delay, energy, EDP and EDAP for HELR, ResNet-20, Sorting and
+ * Bootstrapping at the C1-C3 parameter sets.
+ */
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "sim/accelerator.h"
+#include "workloads/workloads.h"
+
+using namespace ufc;
+
+int
+main()
+{
+    bench::header("Figure 10(a): CKKS workloads, UFC vs SHARP",
+                  "UFC paper, Figure 10(a)");
+
+    sim::UfcModel ufcm;
+    sim::SharpModel sharp;
+
+    double gDelay = 1.0, gEnergy = 1.0, gEdp = 1.0, gEdap = 1.0;
+    int count = 0;
+
+    for (const auto &params : {ckks::CkksParams::c1(),
+                               ckks::CkksParams::c2(),
+                               ckks::CkksParams::c3()}) {
+        std::printf("\n--- parameter set %s (N=2^16, dnum=%d, logPQ=%.0f)"
+                    " ---\n", params.name.c_str(), params.dnum,
+                    params.logPQ());
+        std::printf("%-14s %10s %10s | %7s %7s %7s %7s\n", "workload",
+                    "UFC (ms)", "SHARP (ms)", "delay", "energy", "EDP",
+                    "EDAP");
+        for (const auto &tr : workloads::ckksSuite(params)) {
+            const auto u = ufcm.run(tr);
+            const auto s = sharp.run(tr);
+            const double delay = s.seconds / u.seconds;
+            const double energy = s.energyJ / u.energyJ;
+            const double edp = s.edp() / u.edp();
+            const double edap = s.edap() / u.edap();
+            std::printf("%-14s %10.2f %10.2f | %6.2fx %6.2fx %6.2fx "
+                        "%6.2fx\n", tr.name.c_str(), 1e3 * u.seconds,
+                        1e3 * s.seconds, delay, energy, edp, edap);
+            gDelay *= delay;
+            gEnergy *= energy;
+            gEdp *= edp;
+            gEdap *= edap;
+            ++count;
+        }
+    }
+    std::printf("\ngeomean: delay %.2fx  energy %.2fx  EDP %.2fx  EDAP "
+                "%.2fx\n", std::pow(gDelay, 1.0 / count),
+                std::pow(gEnergy, 1.0 / count),
+                std::pow(gEdp, 1.0 / count), std::pow(gEdap, 1.0 / count));
+    bench::footnote("paper: 1.1x delay, 1.4x energy, 1.5x EDP, 1.6x EDAP "
+                    "over SHARP.");
+    return 0;
+}

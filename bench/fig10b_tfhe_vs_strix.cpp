@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 10(b): logic-scheme (TFHE) workloads on UFC versus Strix —
+ * functional-bootstrapping throughput and NN inference across the T1-T4
+ * parameter sets.
+ */
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "sim/accelerator.h"
+#include "workloads/workloads.h"
+
+using namespace ufc;
+
+int
+main()
+{
+    bench::header("Figure 10(b): TFHE workloads, UFC vs Strix",
+                  "UFC paper, Figure 10(b)");
+
+    sim::UfcModel ufcm;
+    sim::StrixModel strix;
+
+    double gDelay = 1.0, gEnergy = 1.0, gEdap = 1.0;
+    int count = 0;
+
+    std::printf("%-12s %12s %12s | %7s %7s %7s\n", "workload",
+                "UFC (ms)", "Strix (ms)", "delay", "energy", "EDAP");
+    for (const auto &params : {tfhe::TfheParams::t1(),
+                               tfhe::TfheParams::t2(),
+                               tfhe::TfheParams::t3(),
+                               tfhe::TfheParams::t4()}) {
+        for (const auto &tr : workloads::tfheSuite(params)) {
+            const auto u = ufcm.run(tr);
+            const auto s = strix.run(tr);
+            const double delay = s.seconds / u.seconds;
+            const double energy = s.energyJ / u.energyJ;
+            const double edap = s.edap() / u.edap();
+            std::printf("%-12s %12.2f %12.2f | %6.2fx %6.2fx %6.2fx\n",
+                        tr.name.c_str(), 1e3 * u.seconds, 1e3 * s.seconds,
+                        delay, energy, edap);
+            gDelay *= delay;
+            gEnergy *= energy;
+            gEdap *= edap;
+            ++count;
+        }
+    }
+    std::printf("\ngeomean: delay %.2fx  energy %.2fx  EDAP %.2fx\n",
+                std::pow(gDelay, 1.0 / count),
+                std::pow(gEnergy, 1.0 / count),
+                std::pow(gEdap, 1.0 / count));
+    bench::footnote("paper: up to 6x speedup, 1.2x less energy, 1.5x "
+                    "better EDAP than Strix.");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 11: the hybrid k-NN workload on UFC versus the composed
+ * SHARP + Strix system (PCIe 5.0 x16 between the chips) for TFHE
+ * parameter sets T1-T4.
+ */
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "sim/accelerator.h"
+#include "workloads/workloads.h"
+
+using namespace ufc;
+
+int
+main()
+{
+    bench::header("Figure 11: hybrid k-NN, UFC vs composed SHARP+Strix",
+                  "UFC paper, Figure 11");
+
+    const auto cp = ckks::CkksParams::c2();
+    sim::UfcModel ufcm;
+    sim::ComposedModel composed;
+
+    std::printf("%-10s %12s %14s | %7s %7s %7s\n", "params",
+                "UFC (ms)", "SHARP+Strix", "delay", "EDP", "EDAP");
+    double sumDelay13 = 0.0;
+    double sumEdp = 0.0, sumEdap = 0.0;
+    int i = 0;
+    for (const auto &tp : {tfhe::TfheParams::t1(), tfhe::TfheParams::t2(),
+                           tfhe::TfheParams::t3(),
+                           tfhe::TfheParams::t4()}) {
+        const auto tr = workloads::hybridKnn(cp, tp);
+        const auto u = ufcm.run(tr);
+        const auto c = composed.run(tr);
+        const double delay = c.seconds / u.seconds;
+        const double edp = c.edp() / u.edp();
+        const double edap = c.edap() / u.edap();
+        std::printf("%-10s %12.2f %14.2f | %6.2fx %6.2fx %6.2fx\n",
+                    tp.name.c_str(), 1e3 * u.seconds, 1e3 * c.seconds,
+                    delay, edp, edap);
+        if (i < 3)
+            sumDelay13 += delay;
+        sumEdp += edp;
+        sumEdap += edap;
+        ++i;
+    }
+    std::printf("\naverage delay T1-T3: %.2fx   average EDP: %.2fx   "
+                "average EDAP: %.2fx\n", sumDelay13 / 3.0, sumEdp / 4.0,
+                sumEdap / 4.0);
+    bench::footnote("paper: ~1.04x at T1-T3, 2.8x at T4; 3.1x EDP and "
+                    "3.7x EDAP over the composed system.");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 14: design space exploration over the per-PE lane count
+ * (64/128/256/512, scaling butterflies with it) and scratchpad capacity,
+ * on the CKKS suite.
+ */
+
+#include "bench_util.h"
+#include "sim/accelerator.h"
+#include "workloads/workloads.h"
+
+using namespace ufc;
+
+int
+main()
+{
+    bench::header("Figure 14: DSE over lanes per PE x scratchpad",
+                  "UFC paper, Figure 14");
+
+    const auto cp = ckks::CkksParams::c2();
+    const auto suite = workloads::ckksSuite(cp);
+
+    sim::UfcModel base;
+    double baseDelay = 0.0, baseEdp = 0.0, baseEdap = 0.0;
+    for (const auto &tr : suite) {
+        const auto r = base.run(tr);
+        baseDelay += r.seconds;
+        baseEdp += r.edp();
+        baseEdap += r.edap();
+    }
+
+    std::printf("%-10s %-10s | %10s %10s %10s %10s\n", "lanes/PE",
+                "spad(MB)", "area(mm2)", "delay", "EDP", "EDAP");
+    for (int lanes : {64, 128, 256, 512}) {
+        for (double spad : {128.0, 256.0, 512.0}) {
+            auto cfg = sim::UfcConfig::tableII();
+            cfg.lanesPerPe = lanes;
+            cfg.butterfliesPerPe = lanes / 2;
+            cfg.globalNocWordsPerCycle = 64 * lanes * 2;
+            cfg.scratchpadMb = spad;
+            sim::UfcModel model(cfg);
+
+            double delay = 0.0, edp = 0.0, edap = 0.0;
+            for (const auto &tr : suite) {
+                const auto r = model.run(tr);
+                delay += r.seconds;
+                edp += r.edp();
+                edap += r.edap();
+            }
+            std::printf("%-10d %-10.0f | %10.1f %9.2fx %9.2fx %9.2fx\n",
+                        lanes, spad, model.areaMm2(), delay / baseDelay,
+                        edp / baseEdp, edap / baseEdap);
+        }
+    }
+    bench::footnote("ratios relative to Table II (256 lanes, 256 MB); "
+                    "lower is better.  Paper: more lanes give better EDP "
+                    "and EDAP, showing the architecture scales.");
+    return 0;
+}

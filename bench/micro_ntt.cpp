@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Microbenchmarks for the transform substrate: classical NTT,
+ * constant-geometry NTT, packed small-polynomial transforms and the
+ * complex FFT, across ring sizes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "math/cg_ntt.h"
+#include "math/fft.h"
+#include "math/ntt.h"
+#include "math/primes.h"
+
+using namespace ufc;
+
+namespace {
+
+std::vector<u64>
+randomPoly(u64 n, u64 q, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u64> a(n);
+    for (auto &x : a)
+        x = rng.uniform(q);
+    return a;
+}
+
+void
+BM_NttForward(benchmark::State &state)
+{
+    const u64 n = 1ULL << state.range(0);
+    const u64 q = findNttPrime(50, 2 * n);
+    NttTable ntt(n, q);
+    auto a = randomPoly(n, q, 1);
+    for (auto _ : state) {
+        ntt.forward(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+void
+BM_NttInverse(benchmark::State &state)
+{
+    const u64 n = 1ULL << state.range(0);
+    const u64 q = findNttPrime(50, 2 * n);
+    NttTable ntt(n, q);
+    auto a = randomPoly(n, q, 2);
+    for (auto _ : state) {
+        ntt.inverse(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+void
+BM_CgNttForward(benchmark::State &state)
+{
+    const u64 n = 1ULL << state.range(0);
+    const u64 q = findNttPrime(50, 2 * n);
+    CgNtt cg(n, q);
+    auto a = randomPoly(n, q, 3);
+    for (auto _ : state) {
+        cg.forward(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+void
+BM_CgNttPackedForward(benchmark::State &state)
+{
+    // Pack N/M small polynomials of degree M = 2^10 (TFHE-sized).
+    const u64 n = 1ULL << state.range(0);
+    const u64 m = std::min<u64>(n, 1ULL << 10);
+    const u64 q = findNttPrime(50, 2 * n);
+    CgNtt cg(n, q);
+    auto a = randomPoly(n, q, 4);
+    for (auto _ : state) {
+        cg.packedForward(a, m);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+void
+BM_ComplexFft(benchmark::State &state)
+{
+    const u64 n = 1ULL << state.range(0);
+    std::vector<cplx> a(n);
+    Rng rng(5);
+    for (auto &x : a)
+        x = cplx(rng.uniformReal(), rng.uniformReal());
+    for (auto _ : state) {
+        fft(a, false);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+void
+BM_NegacyclicMulViaNtt(benchmark::State &state)
+{
+    const u64 n = 1ULL << state.range(0);
+    const u64 q = findNttPrime(50, 2 * n);
+    NttTable ntt(n, q);
+    auto a = randomPoly(n, q, 6);
+    auto b = randomPoly(n, q, 7);
+    for (auto _ : state) {
+        auto fa = a;
+        auto fb = b;
+        ntt.forward(fa);
+        ntt.forward(fb);
+        for (u64 i = 0; i < n; ++i)
+            fa[i] = ntt.modulus().mul(fa[i], fb[i]);
+        ntt.inverse(fa);
+        benchmark::DoNotOptimize(fa.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+} // namespace
+
+BENCHMARK(BM_NttForward)->DenseRange(10, 16, 2);
+BENCHMARK(BM_NttInverse)->DenseRange(10, 16, 2);
+BENCHMARK(BM_CgNttForward)->DenseRange(10, 16, 2);
+BENCHMARK(BM_CgNttPackedForward)->DenseRange(12, 16, 2);
+BENCHMARK(BM_ComplexFft)->DenseRange(10, 16, 2);
+BENCHMARK(BM_NegacyclicMulViaNtt)->DenseRange(10, 14, 2);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Extension bench: programmable-bootstrapping throughput versus batch
+ * size on UFC.  TvLP packing fills the wide datapath and amortizes the
+ * per-iteration RGSW key fetch, so per-bootstrap cost drops steeply until
+ * the lanes saturate — the mechanism behind the paper's throughput
+ * results on the small logic-scheme parameters.
+ */
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "sim/accelerator.h"
+#include "workloads/workloads.h"
+
+using namespace ufc;
+
+int
+main()
+{
+    bench::header("Extension: PBS throughput vs batch size on UFC",
+                  "the packing mechanism of Sections V-A/V-B");
+
+    sim::UfcModel ufcm;
+    for (const auto &tp : {tfhe::TfheParams::t1(),
+                           tfhe::TfheParams::t4()}) {
+        std::printf("\n--- %s (n=%u, N=2^%d) ---\n", tp.name.c_str(),
+                    tp.lweDim,
+                    static_cast<int>(std::log2(tp.ringDim)));
+        std::printf("%8s %14s %16s %14s\n", "batch", "total (ms)",
+                    "per-PBS (us)", "PBS/s");
+        for (int batch : {1, 4, 16, 64, 256, 1024}) {
+            const auto tr = workloads::pbsThroughput(tp, batch);
+            const auto r = ufcm.run(tr);
+            const double perPbs = r.seconds / batch;
+            std::printf("%8d %14.3f %16.2f %14.0f\n", batch,
+                        1e3 * r.seconds, 1e6 * perPbs, 1.0 / perPbs);
+        }
+    }
+    bench::footnote("per-PBS cost saturates once the packed batch fills "
+                    "the 16384 lanes (16 polys at N=2^10; 1 at N=2^14).");
+    return 0;
+}

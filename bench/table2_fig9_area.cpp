@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table II + Figure 9: the UFC configuration, total area/power at 7 nm,
+ * and the component-level area breakdown.
+ */
+
+#include "bench_util.h"
+#include "sim/cost_model.h"
+
+using namespace ufc;
+
+int
+main()
+{
+    bench::header("Table II / Figure 9: UFC configuration and area",
+                  "UFC paper, Table II and Figure 9");
+
+    const auto cfg = sim::UfcConfig::tableII();
+    std::printf("Processing element (PE)\n");
+    std::printf("  %-28s %d\n", "Butterfly ALU", cfg.butterfliesPerPe);
+    std::printf("  %-28s %d\n", "Mod.ADD/Mul lanes", cfg.lanesPerPe);
+    std::printf("  %-28s %.0f KB\n", "Register file", cfg.registerFileKb);
+    std::printf("Compute cluster\n");
+    std::printf("  %-28s %d x %d\n", "PE array", cfg.peRows, cfg.peCols);
+    std::printf("  %-28s %d words/cycle\n", "Global interconnect",
+                cfg.globalNocWordsPerCycle);
+    std::printf("  %-28s %.0f MB\n", "Scratchpad", cfg.scratchpadMb);
+    std::printf("Near-memory unit\n");
+    std::printf("  %-28s %dx%dx2\n", "Crossbar", cfg.crossbarPorts,
+                cfg.crossbarPorts);
+    std::printf("  %-28s %.0f KB\n", "LWE SPAD", cfg.lweSpadKb);
+    std::printf("Clock: %.1f GHz, word: %d-bit\n\n", cfg.freqGHz,
+                cfg.wordBits);
+
+    sim::UfcCostModel cost(cfg);
+    const auto items = cost.areaBreakdown();
+    const double total = cost.areaMm2();
+    std::printf("%-32s %10s %8s\n", "Component", "mm^2", "share");
+    for (const auto &item : items) {
+        std::printf("%-32s %10.1f %7.1f%%\n", item.component.c_str(),
+                    item.mm2, 100.0 * item.mm2 / total);
+    }
+    std::printf("%-32s %10.1f\n", "TOTAL", total);
+    bench::footnote("paper Table II reports 197.7 mm^2 / 76.9 W @ 7 nm.");
+    return 0;
+}

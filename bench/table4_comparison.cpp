@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table IV: detailed architectural comparison between SHARP and UFC.
+ */
+
+#include "baselines/sharp_perf.h"
+#include "bench_util.h"
+#include "sim/ufc_perf.h"
+
+using namespace ufc;
+
+int
+main()
+{
+    bench::header("Table IV: SHARP vs UFC architecture comparison",
+                  "UFC paper, Table IV");
+
+    const baselines::SharpConfig s;
+    const auto u = sim::UfcConfig::tableII();
+    sim::UfcPerf perf(u);
+
+    // UFC effective NTT throughput at the logN=16 design point.
+    isa::HwInst ntt;
+    ntt.op = isa::HwOp::Ntt;
+    ntt.logDegree = 16;
+    ntt.words = 1ULL << 16;
+    ntt.work = ntt.words * 16 / 2;
+    const double ufcNttRate = ntt.words / perf.computeCycles(ntt);
+
+    std::printf("%-24s %18s %18s\n", "", "SHARP", "UFC");
+    std::printf("%-24s %18s %18s\n", "Word length", "36-bit", "32-bit");
+    std::printf("%-24s %17.0fG %17.0fG\n", "Core frequency (Hz)",
+                s.freqGHz, u.freqGHz);
+    std::printf("%-24s %18d %18d\n", "# of lanes", 1024, u.totalLanes());
+    std::printf("%-24s %16.0fTB/s %15.0fTB/s\n", "Off-chip memory BW",
+                s.hbmGBs / 1024.0, u.hbmGBs / 1024.0);
+    std::printf("%-24s %15.0f MB %15.0f MB\n", "On-chip memory cap",
+                s.scratchpadMb, u.scratchpadMb + 18.0);
+    std::printf("%-24s %16d w/c %14d w/c\n", "Global NoC BW", 1024,
+                u.globalNocWordsPerCycle);
+    std::printf("%-24s %16.0f w/c %14.0f w/c\n", "NTTU throughput",
+                s.nttWordsPerCycle, ufcNttRate);
+    std::printf("%-24s %16d w/c %14d w/c\n", "NTTU bisection BW", 128,
+                u.globalNocWordsPerCycle);
+    std::printf("%-24s %16.0f w/c %14d w/c\n", "BConv throughput",
+                s.bconvMacsPerCycle, u.totalLanes());
+    std::printf("%-24s %16.0f w/c %14d w/c\n", "ELEW throughput",
+                s.elewWordsPerCycle, u.totalLanes());
+    std::printf("%-24s %15d bf  %15d bf\n", "Butterfly units", 1024 / 2,
+                u.totalButterflies());
+
+    bench::footnote("UFC's versatile PEs serve BConv/ELEW at 16384 w/c and "
+                    "NTT at an effective 1024 w/c, matching Table IV.");
+    return 0;
+}

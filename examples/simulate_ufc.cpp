@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Accelerator-simulation example: generate a workload trace, run it
+ * through the UFC cycle-level model and the scheme-specific baselines,
+ * and print a performance/energy report.
+ *
+ * Build and run:  ./build/examples/example_simulate_ufc
+ */
+
+#include <cstdio>
+
+#include "sim/accelerator.h"
+#include "workloads/workloads.h"
+
+using namespace ufc;
+
+namespace {
+
+void
+report(const sim::RunResult &r)
+{
+    std::printf("  %-12s %10.3f ms %8.1f W %10.3f J | PE %4.0f%%  "
+                "NoC %4.0f%%  HBM %4.0f%%\n",
+                r.machine.c_str(), 1e3 * r.seconds, r.powerW, r.energyJ,
+                100.0 * r.stats.peUtilization(),
+                100.0 * r.stats.utilization(isa::Resource::Noc),
+                100.0 * r.stats.hbmUtilization());
+}
+
+} // namespace
+
+int
+main()
+{
+    // A SIMD-scheme workload: CKKS bootstrapping at the paper's C2
+    // parameters, on UFC and on SHARP.
+    const auto cp = ckks::CkksParams::c2();
+    const auto boot = workloads::ckksBootstrapping(cp);
+    std::printf("workload: %s (%zu ciphertext-level ops, N=2^16, "
+                "dnum=%d)\n", boot.name.c_str(), boot.ops.size(),
+                cp.dnum);
+
+    sim::UfcModel ufcm;
+    sim::SharpModel sharp;
+    report(ufcm.run(boot));
+    report(sharp.run(boot));
+
+    // A logic-scheme workload: 512 programmable bootstraps at T2, on UFC
+    // and on Strix.
+    const auto tp = tfhe::TfheParams::t2();
+    const auto pbs = workloads::pbsThroughput(tp, 512);
+    std::printf("\nworkload: %s (512 bootstraps, n=%u, N=2^10)\n",
+                pbs.name.c_str(), tp.lweDim);
+
+    sim::StrixModel strix;
+    report(ufcm.run(pbs));
+    report(strix.run(pbs));
+
+    // The hybrid workload on UFC vs the composed two-chip system.
+    const auto knn = workloads::hybridKnn(cp, tp);
+    std::printf("\nworkload: %s (hybrid, scheme switching)\n",
+                knn.name.c_str());
+    sim::ComposedModel composed;
+    report(ufcm.run(knn));
+    report(composed.run(knn));
+
+    std::printf("\nUFC chip: %.1f mm^2 (paper: 197.7 mm^2 @ 7 nm)\n",
+                ufcm.areaMm2());
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tracing-tool example (the paper's Section VI-B flow): generate the
+ * ciphertext-granularity trace of a workload, save it to a file, reload
+ * it, and feed it to the compiler + simulator — the same file-based
+ * pipeline the paper uses between its OpenFHE tracer and its Python
+ * compiler.
+ *
+ * Usage: example_trace_tool [output.trace]
+ */
+
+#include <cstdio>
+
+#include "sim/accelerator.h"
+#include "trace/serialize.h"
+#include "workloads/workloads.h"
+
+using namespace ufc;
+
+int
+main(int argc, char **argv)
+{
+    const std::string path = argc > 1 ? argv[1] : "/tmp/ufc_helr.trace";
+
+    // 1. Trace generation (the "tracing tool").
+    const auto cp = ckks::CkksParams::c2();
+    const auto tr = workloads::helr(cp, /*iterations=*/8);
+    trace::saveTrace(tr, path);
+    std::printf("traced %s: %zu high-level ops (%llu including batches) "
+                "-> %s\n", tr.name.c_str(), tr.ops.size(),
+                static_cast<unsigned long long>(tr.totalOps()),
+                path.c_str());
+
+    // 2. Reload (a different process would normally do this).
+    const auto loaded = trace::loadTrace(path);
+
+    // 3. Compile + simulate on UFC and on the CKKS baseline.
+    sim::UfcModel ufcm;
+    sim::SharpModel sharp;
+    const auto u = ufcm.run(loaded);
+    const auto s = sharp.run(loaded);
+    std::printf("UFC:   %8.3f ms, %6.2f J (%llu primitive instructions)\n",
+                1e3 * u.seconds, u.energyJ,
+                static_cast<unsigned long long>(u.stats.instCount));
+    std::printf("SHARP: %8.3f ms, %6.2f J\n", 1e3 * s.seconds, s.energyJ);
+    std::printf("speedup %.2fx, EDP gain %.2fx\n", s.seconds / u.seconds,
+                s.edp() / u.edp());
+
+    const bool ok = u.seconds > 0 && s.seconds > u.seconds &&
+                    loaded.ops.size() == tr.ops.size();
+    std::printf(ok ? "OK\n" : "FAILED\n");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * CKKS bootstrapping implementation.
+ */
+
+#include "ckks/bootstrap.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "ckks/chebyshev.h"
+#include "common/check.h"
+
+namespace ufc {
+namespace ckks {
+
+namespace {
+
+/** omega^e for the primitive 2N-th complex root. */
+cplx
+rootPow(u64 n, i64 e)
+{
+    const double ang =
+        std::numbers::pi * static_cast<double>(e) / static_cast<double>(n);
+    return cplx(std::cos(ang), std::sin(ang));
+}
+
+} // namespace
+
+CkksBootstrapper::CkksBootstrapper(const CkksContext *ctx,
+                                   const CkksEncoder *encoder,
+                                   const CkksEvaluator *eval,
+                                   const CkksKeyGenerator *keygen,
+                                   int rangeK, int sineDegree)
+    : ctx_(ctx), encoder_(encoder), eval_(eval), rangeK_(rangeK),
+      sineDegree_(sineDegree), relin_(keygen->makeRelinKey()),
+      keys_(keygen), cheb_(ctx, encoder, eval, &relin_)
+{
+    UFC_CHECK(ctx->params().secretHamming > 0,
+              "bootstrapping requires a sparse secret key "
+              "(CkksParams::secretHamming)");
+    const u64 n = ctx_->degree();
+    const u64 slots = ctx_->slots();
+    const double q0 = static_cast<double>(ctx_->qAt(0));
+    const double kb = static_cast<double>(rangeK_);
+
+    // Scaled sine: g(x) = sin(2*pi*Kb*x) / (2*pi*Kb) on [-1, 1].
+    sineCoeffs_ = chebyshevInterpolate(
+        [kb](double x) {
+            return std::sin(2.0 * std::numbers::pi * kb * x) /
+                   (2.0 * std::numbers::pi * kb);
+        },
+        -1.0, 1.0, sineDegree_);
+
+    // Rotation-group exponents 5^j mod 2N.
+    std::vector<u64> rot(slots);
+    u64 p = 1;
+    for (u64 j = 0; j < slots; ++j) {
+        rot[j] = p;
+        p = (p * 5) % (2 * n);
+    }
+
+    // CoeffToSlot matrices: u1_j = p_j/(q0*Kb), u2_j = p_{j+n}/(q0*Kb),
+    // with p_k = (1/N) * sum_l (V_l w^{-rot_l k} + conj(V_l) w^{rot_l k}).
+    const double invN = 1.0 / static_cast<double>(n);
+    auto buildC2s = [&](bool conjSide, u64 coeffOffset) {
+        std::vector<std::vector<cplx>> m(slots, std::vector<cplx>(slots));
+        for (u64 j = 0; j < slots; ++j) {
+            const i64 k = static_cast<i64>(j + coeffOffset);
+            for (u64 l = 0; l < slots; ++l) {
+                const i64 e = static_cast<i64>(rot[l]) * k;
+                m[j][l] = invN * rootPow(n, conjSide ? e : -e);
+            }
+        }
+        return std::make_unique<LinearTransform>(
+            LinearTransform::fromMatrix(ctx_, encoder_, m, ctx_->scale()));
+    };
+    c2sA1_ = buildC2s(false, 0);
+    c2sB1_ = buildC2s(true, 0);
+    c2sA2_ = buildC2s(false, slots);
+    c2sB2_ = buildC2s(true, slots);
+
+    // SlotToCoeff matrices: out_j = C * sum_k (u1'_k w^{rot_j k}
+    // + u2'_k w^{rot_j (k+n)}) with C = q0*Kb/Delta, so the output slots
+    // equal the original message values.
+    const double c = q0 * kb / ctx_->scale();
+    auto buildS2c = [&](u64 coeffOffset) {
+        std::vector<std::vector<cplx>> m(slots, std::vector<cplx>(slots));
+        for (u64 j = 0; j < slots; ++j) {
+            for (u64 k = 0; k < slots; ++k) {
+                const i64 e = static_cast<i64>(rot[j]) *
+                              static_cast<i64>(k + coeffOffset);
+                m[j][k] = c * rootPow(n, e);
+            }
+        }
+        return std::make_unique<LinearTransform>(
+            LinearTransform::fromMatrix(ctx_, encoder_, m, ctx_->scale()));
+    };
+    s2cE1_ = buildS2c(0);
+    s2cE2_ = buildS2c(slots);
+}
+
+Ciphertext
+CkksBootstrapper::modRaise(const Ciphertext &ct) const
+{
+    UFC_CHECK(ct.limbs == 1, "bootstrap input must be at the last level");
+    const u64 q0 = ctx_->qAt(0);
+    const int L = ctx_->levels();
+    const u64 n = ctx_->degree();
+
+    Ciphertext out;
+    out.limbs = L;
+    // Bookkeeping scale so CoeffToSlot sees values in [-1, 1].
+    out.scale = static_cast<double>(q0) * rangeK_;
+
+    for (auto [src, dst] :
+         {std::pair{&ct.c0, &out.c0}, std::pair{&ct.c1, &out.c1}}) {
+        Poly limb0 = src->limb(0);
+        limb0.toCoeff();
+        RnsPoly raised = ctx_->makePoly(L, PolyForm::Coeff);
+        for (u64 k = 0; k < n; ++k) {
+            const u64 v = limb0[k];
+            const bool negative = v > q0 / 2;
+            const u64 mag = negative ? q0 - v : v;
+            for (int i = 0; i < L; ++i) {
+                const u64 qi = ctx_->qAt(i);
+                const u64 r = mag % qi;
+                raised.limb(i)[k] = negative ? negMod(r, qi) : r;
+            }
+        }
+        raised.toEval();
+        *dst = std::move(raised);
+    }
+    return out;
+}
+
+Ciphertext
+CkksBootstrapper::bootstrap(const Ciphertext &ct)
+{
+    // 1. ModRaise: decryption is now m + q0*I over the full chain.
+    Ciphertext raised = modRaise(ct);
+
+    // 2. CoeffToSlot: coefficients into slots (two output ciphertexts),
+    //    scaled into the sine's [-1, 1] domain.
+    Ciphertext conj = eval_->conjugate(raised, keys_.conjugation());
+    Ciphertext u1 = eval_->rescale(
+        eval_->add(c2sA1_->apply(*eval_, raised, keys_),
+                   c2sB1_->apply(*eval_, conj, keys_)));
+    Ciphertext u2 = eval_->rescale(
+        eval_->add(c2sA2_->apply(*eval_, raised, keys_),
+                   c2sB2_->apply(*eval_, conj, keys_)));
+
+    // Normalize to the standard scale before polynomial evaluation.
+    u1 = cheb_.matchScale(u1, u1.limbs - 1, ctx_->scale());
+    u2 = cheb_.matchScale(u2, u2.limbs - 1, ctx_->scale());
+
+    // 3. EvalMod: scaled sine removes the q0*I multiples.
+    Ciphertext m1 = cheb_.evaluate(u1, sineCoeffs_);
+    Ciphertext m2 = cheb_.evaluate(u2, sineCoeffs_);
+    UFC_CHECK(m1.limbs == m2.limbs, "EvalMod level mismatch");
+
+    // 4. SlotToCoeff: back to slot semantics.
+    Ciphertext out = eval_->rescale(
+        eval_->add(s2cE1_->apply(*eval_, m1, keys_),
+                   s2cE2_->apply(*eval_, m2, keys_)));
+    return out;
+}
+
+} // namespace ckks
+} // namespace ufc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * CKKS bootstrapping (paper Section II-B4).
+ *
+ * Pipeline: ModRaise (re-interpret a one-limb ciphertext over the full
+ * modulus chain, picking up an unknown multiple q0*I of the base prime),
+ * CoeffToSlot (homomorphic DFT moving the polynomial coefficients into
+ * slots), EvalMod (Chebyshev approximation of the scaled sine removing
+ * the q0*I term), and SlotToCoeff (inverse DFT restoring slot semantics).
+ *
+ * The secret key must be sparse (CkksParams::secretHamming) so that the
+ * overflow count I stays inside the sine approximation range.
+ */
+
+#ifndef UFC_CKKS_BOOTSTRAP_H
+#define UFC_CKKS_BOOTSTRAP_H
+
+#include <memory>
+
+#include "ckks/linear_transform.h"
+#include "ckks/poly_eval.h"
+
+namespace ufc {
+namespace ckks {
+
+/** Precomputed transforms and keys for bootstrapping one context. */
+class CkksBootstrapper
+{
+  public:
+    /**
+     * @param rangeK      bound on |I| + message: the sine is evaluated on
+     *                    [-rangeK, rangeK] periods
+     * @param sineDegree  Chebyshev degree of the scaled-sine approximant
+     */
+    CkksBootstrapper(const CkksContext *ctx, const CkksEncoder *encoder,
+                     const CkksEvaluator *eval,
+                     const CkksKeyGenerator *keygen, int rangeK = 6,
+                     int sineDegree = 119);
+
+    /**
+     * Refresh a one-limb ciphertext (scale ~ Delta, real slot values of
+     * magnitude <= 1) back to a multi-limb ciphertext encrypting the same
+     * slots.  Returns the refreshed ciphertext; its `limbs` tells how
+     * much multiplicative budget was recovered.
+     */
+    Ciphertext bootstrap(const Ciphertext &ct);
+
+    int rangeK() const { return rangeK_; }
+
+  private:
+    /** Re-interpret the one-limb ciphertext over the full chain. */
+    Ciphertext modRaise(const Ciphertext &ct) const;
+
+    const CkksContext *ctx_;
+    const CkksEncoder *encoder_;
+    const CkksEvaluator *eval_;
+    int rangeK_;
+    int sineDegree_;
+
+    EvalKey relin_;
+    RotationKeySet keys_;
+    ChebyshevEvaluator cheb_;
+    std::vector<double> sineCoeffs_;
+
+    // CoeffToSlot: u1 = A1*v + B1*conj(v), u2 = A2*v + B2*conj(v).
+    std::unique_ptr<LinearTransform> c2sA1_, c2sB1_, c2sA2_, c2sB2_;
+    // SlotToCoeff: out = E1*u1' + E2*u2'.
+    std::unique_ptr<LinearTransform> s2cE1_, s2cE2_;
+};
+
+} // namespace ckks
+} // namespace ufc
+
+#endif // UFC_CKKS_BOOTSTRAP_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Plaintext Chebyshev tools implementation.
+ */
+
+#include "ckks/chebyshev.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace ufc {
+namespace ckks {
+
+std::vector<double>
+chebyshevInterpolate(const std::function<double(double)> &f, double a,
+                     double b, int degree)
+{
+    UFC_CHECK(degree >= 0 && b > a, "bad interpolation parameters");
+    const int m = degree + 1;
+    // Sample at the Chebyshev-Gauss nodes.
+    std::vector<double> samples(m);
+    for (int i = 0; i < m; ++i) {
+        const double u = std::cos(std::numbers::pi * (i + 0.5) / m);
+        const double x = 0.5 * (u * (b - a) + a + b);
+        samples[i] = f(x);
+    }
+    // DCT-II of the samples gives the Chebyshev coefficients.
+    std::vector<double> coeffs(m, 0.0);
+    for (int k = 0; k < m; ++k) {
+        double acc = 0.0;
+        for (int i = 0; i < m; ++i)
+            acc += samples[i] *
+                   std::cos(std::numbers::pi * k * (i + 0.5) / m);
+        coeffs[k] = acc * 2.0 / m;
+    }
+    coeffs[0] *= 0.5;
+    return coeffs;
+}
+
+double
+chebyshevEval(const std::vector<double> &coeffs, double u)
+{
+    // Clenshaw recurrence.
+    double b1 = 0.0, b2 = 0.0;
+    for (int k = static_cast<int>(coeffs.size()) - 1; k >= 1; --k) {
+        const double b0 = coeffs[k] + 2.0 * u * b1 - b2;
+        b2 = b1;
+        b1 = b0;
+    }
+    return coeffs.empty() ? 0.0 : coeffs[0] + u * b1 - b2;
+}
+
+int
+chebyshevDegree(const std::vector<double> &coeffs)
+{
+    for (int k = static_cast<int>(coeffs.size()) - 1; k >= 0; --k) {
+        if (std::abs(coeffs[k]) > 1e-14)
+            return k;
+    }
+    return 0;
+}
+
+std::pair<std::vector<double>, std::vector<double>>
+chebyshevDivide(const std::vector<double> &p, int m)
+{
+    const int n = chebyshevDegree(p);
+    UFC_CHECK(m >= 1, "divisor degree must be positive");
+    UFC_CHECK(n >= m, "dividend degree below divisor degree");
+
+    std::vector<double> r(p.begin(), p.begin() + n + 1);
+    std::vector<double> q(n - m + 1, 0.0);
+
+    // Work down from the leading coefficient using
+    // 2*T_j*T_m = T_{j+m} + T_{|j-m|} (and T_0*T_m = T_m).
+    for (int k = n; k >= m; --k) {
+        const double c = r[k];
+        if (c == 0.0)
+            continue;
+        const int j = k - m;
+        if (j == 0) {
+            q[0] += c;
+            r[k] = 0.0;
+        } else {
+            q[j] += 2.0 * c;
+            r[k] = 0.0;
+            r[std::abs(j - m)] -= c;
+        }
+    }
+    r.resize(m);
+    return {std::move(q), std::move(r)};
+}
+
+} // namespace ckks
+} // namespace ufc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plaintext Chebyshev-basis polynomial tools: interpolation of a real
+ * function on [a, b], arithmetic in the Chebyshev basis, and the long
+ * division used by the Paterson-Stockmeyer homomorphic evaluator.
+ *
+ * The Chebyshev basis keeps coefficients O(1) for smooth functions, which
+ * is what makes high-degree approximation (the bootstrapping sine)
+ * numerically viable at CKKS precision.
+ */
+
+#ifndef UFC_CKKS_CHEBYSHEV_H
+#define UFC_CKKS_CHEBYSHEV_H
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ufc {
+namespace ckks {
+
+/**
+ * Chebyshev interpolation: coefficients c_0..c_degree such that
+ * f(x) ~ sum_k c_k T_k(u) with u = (2x - a - b)/(b - a), computed at the
+ * Chebyshev nodes (discrete cosine transform of f samples).
+ */
+std::vector<double> chebyshevInterpolate(
+    const std::function<double(double)> &f, double a, double b,
+    int degree);
+
+/** Evaluate a Chebyshev series at u in [-1, 1] (Clenshaw). */
+double chebyshevEval(const std::vector<double> &coeffs, double u);
+
+/**
+ * Divide p (Chebyshev coefficients) by T_m: p = q * T_m + r with
+ * deg r < m.  Returns {q, r}.
+ */
+std::pair<std::vector<double>, std::vector<double>>
+chebyshevDivide(const std::vector<double> &p, int m);
+
+/** Degree of a Chebyshev coefficient vector (index of last nonzero). */
+int chebyshevDegree(const std::vector<double> &coeffs);
+
+} // namespace ckks
+} // namespace ufc
+
+#endif // UFC_CKKS_CHEBYSHEV_H

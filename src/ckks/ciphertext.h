@@ -1,0 +1,31 @@
+/**
+ * @file
+ * CKKS ciphertext type.
+ *
+ * A ciphertext is (c0, c1) over the current q basis with decryption
+ * c0 + c1 * s.  Components are kept in evaluation form between operations;
+ * rescaling and key switching convert locally as needed — exactly the
+ * NTT/iNTT round trips the paper's accelerator schedules.
+ */
+
+#ifndef UFC_CKKS_CIPHERTEXT_H
+#define UFC_CKKS_CIPHERTEXT_H
+
+#include "poly/rns_poly.h"
+
+namespace ufc {
+namespace ckks {
+
+/** An RNS-CKKS ciphertext. */
+struct Ciphertext
+{
+    RnsPoly c0;
+    RnsPoly c1;
+    int limbs = 0;      ///< number of active q limbs
+    double scale = 0.0; ///< current encoding scale
+};
+
+} // namespace ckks
+} // namespace ufc
+
+#endif // UFC_CKKS_CIPHERTEXT_H

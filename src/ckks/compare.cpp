@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Approximate comparison implementation.
+ */
+
+#include "ckks/compare.h"
+
+#include "common/check.h"
+
+namespace ufc {
+namespace ckks {
+
+Ciphertext
+CkksComparator::approxSign(const Ciphertext &x, int iterations) const
+{
+    UFC_CHECK(iterations >= 1, "need at least one iteration");
+    UFC_CHECK(x.limbs > levelCost(iterations),
+              "not enough levels for " << iterations << " iterations");
+
+    Ciphertext cur = x;
+    for (int it = 0; it < iterations; ++it) {
+        // g(x) = 1.5x - 0.5x^3 evaluated with two multiplies:
+        // t = x^2 (rescaled), out = x * (1.5 - 0.5 t).
+        Ciphertext sq = eval_->rescale(eval_->square(cur, *relin_));
+
+        // inner = 1.5 - 0.5 * sq, at sq's level and scale.
+        Ciphertext inner = eval_->mulPlain(
+            sq, encoder_->encodeConstant(-0.5, sq.limbs, ctx_->scale()));
+        inner = eval_->rescale(inner);
+        inner = eval_->addPlain(
+            inner,
+            encoder_->encodeConstant(1.5, inner.limbs, inner.scale));
+
+        // Align x with inner, then multiply.
+        Ciphertext aligned = eval_->dropToLimbs(cur, inner.limbs);
+        // Their scales differ slightly after two rescales; absorb the
+        // ratio into a plaintext multiply of 1.0 on the larger side.
+        if (std::abs(aligned.scale / inner.scale - 1.0) > 1e-9) {
+            const double qNext =
+                static_cast<double>(ctx_->qAt(inner.limbs - 1));
+            const double ptScale =
+                inner.scale * qNext / aligned.scale;
+            aligned = eval_->rescale(eval_->mulPlain(
+                aligned, encoder_->encodeConstant(1.0, aligned.limbs,
+                                                  ptScale)));
+            inner = eval_->dropToLimbs(inner, aligned.limbs);
+            aligned.scale = inner.scale;
+        }
+        cur = eval_->rescale(eval_->multiply(aligned, inner, *relin_));
+    }
+    return cur;
+}
+
+Ciphertext
+CkksComparator::greaterThan(const Ciphertext &a, const Ciphertext &b,
+                            int iterations) const
+{
+    // d = (a - b) / 2 in [-1, 1].
+    Ciphertext d = eval_->sub(a, b);
+    d = eval_->rescale(eval_->mulPlain(
+        d, encoder_->encodeConstant(0.5, d.limbs, ctx_->scale())));
+    Ciphertext s = approxSign(d, iterations);
+    // Map sign to an indicator: (s + 1) / 2.
+    Ciphertext half = eval_->rescale(eval_->mulPlain(
+        s, encoder_->encodeConstant(0.5, s.limbs, ctx_->scale())));
+    return eval_->addPlain(
+        half, encoder_->encodeConstant(0.5, half.limbs, half.scale));
+}
+
+} // namespace ckks
+} // namespace ufc

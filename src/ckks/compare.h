@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Approximate comparison in the SIMD scheme: the composite-polynomial
+ * sign function (Cheon et al.) behind the paper's Sorting workload and
+ * the CKKS pre-filtering stage of the hybrid k-NN.
+ */
+
+#ifndef UFC_CKKS_COMPARE_H
+#define UFC_CKKS_COMPARE_H
+
+#include "ckks/encoder.h"
+#include "ckks/evaluator.h"
+
+namespace ufc {
+namespace ckks {
+
+/** Slot-wise approximate sign / comparison operations. */
+class CkksComparator
+{
+  public:
+    CkksComparator(const CkksContext *ctx, const CkksEncoder *encoder,
+                   const CkksEvaluator *eval, const EvalKey *relin)
+        : ctx_(ctx), encoder_(encoder), eval_(eval), relin_(relin)
+    {}
+
+    /**
+     * Approximate sign(x) for x in [-1, 1] via `iterations` rounds of the
+     * contraction g(x) = 1.5x - 0.5x^3 (each round sharpens the step and
+     * costs two multiplicative levels).  Values with |x| >= minGap
+     * converge to +-1.
+     */
+    Ciphertext approxSign(const Ciphertext &x, int iterations) const;
+
+    /**
+     * Approximate (a > b) as a 0/1 indicator: sign((a-b)/2) mapped to
+     * [0, 1].  Inputs must be in [-1, 1].
+     */
+    Ciphertext greaterThan(const Ciphertext &a, const Ciphertext &b,
+                           int iterations) const;
+
+    /** Levels consumed by approxSign at the given iteration count
+     *  (square, inner plaintext multiply, alignment, product). */
+    static int levelCost(int iterations) { return 4 * iterations; }
+
+  private:
+    const CkksContext *ctx_;
+    const CkksEncoder *encoder_;
+    const CkksEvaluator *eval_;
+    const EvalKey *relin_;
+};
+
+} // namespace ckks
+} // namespace ufc
+
+#endif // UFC_CKKS_COMPARE_H

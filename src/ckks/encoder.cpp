@@ -1,0 +1,188 @@
+/**
+ * @file
+ * CKKS encoder implementation.
+ *
+ * Encoding uses one length-2N complex FFT: the slot values (and their
+ * conjugates) are scattered to the odd powers of the 2N-th root indexed by
+ * the rotation group 5^j, the inverse FFT produces the real message
+ * polynomial, and coefficients are rounded and reduced per RNS limb.
+ */
+
+#include "ckks/encoder.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ufc {
+namespace ckks {
+
+CkksEncoder::CkksEncoder(const CkksContext *ctx)
+    : ctx_(ctx)
+{
+    const u64 twoN = 2 * ctx_->degree();
+    rotGroup_.resize(ctx_->slots());
+    u64 p = 1;
+    for (u64 j = 0; j < ctx_->slots(); ++j) {
+        rotGroup_[j] = static_cast<u32>(p);
+        p = (p * 5) % twoN;
+    }
+}
+
+Plaintext
+CkksEncoder::encode(const std::vector<cplx> &values, int limbs,
+                    double scale) const
+{
+    const u64 n = ctx_->degree();
+    const u64 twoN = 2 * n;
+    UFC_CHECK(values.size() <= ctx_->slots(),
+              "too many values: " << values.size());
+
+    // Scatter slots (scaled) to the odd-root positions, conjugates to the
+    // mirrored positions, then one inverse FFT gives the coefficients.
+    std::vector<cplx> g(twoN, cplx(0.0, 0.0));
+    for (size_t j = 0; j < values.size(); ++j) {
+        const cplx v = values[j] * scale;
+        g[rotGroup_[j]] = v;
+        g[twoN - rotGroup_[j]] = std::conj(v);
+    }
+    fft(g, true);
+
+    RnsPoly poly = ctx_->makePoly(limbs, PolyForm::Coeff);
+    for (u64 k = 0; k < n; ++k) {
+        const double c = 2.0 * g[k].real();
+        UFC_CHECK(std::abs(c) < 4.6e18, "encoded coefficient overflow");
+        const i64 v = static_cast<i64>(std::llround(c));
+        for (size_t i = 0; i < poly.limbCount(); ++i) {
+            const i64 q = static_cast<i64>(poly.modulus(i));
+            i64 r = v % q;
+            if (r < 0)
+                r += q;
+            poly.limb(i)[k] = static_cast<u64>(r);
+        }
+    }
+    poly.toEval();
+
+    Plaintext pt;
+    pt.poly = std::move(poly);
+    pt.limbs = limbs;
+    pt.scale = scale;
+    return pt;
+}
+
+Plaintext
+CkksEncoder::encode(const std::vector<double> &values, int limbs,
+                    double scale) const
+{
+    std::vector<cplx> z(values.size());
+    for (size_t i = 0; i < values.size(); ++i)
+        z[i] = cplx(values[i], 0.0);
+    return encode(z, limbs, scale);
+}
+
+Plaintext
+CkksEncoder::encodeConstant(double value, int limbs, double scale) const
+{
+    // A constant in every slot is the constant polynomial value*scale —
+    // no FFT needed.
+    RnsPoly poly = ctx_->makePoly(limbs, PolyForm::Coeff);
+    UFC_CHECK(std::abs(value * scale) < 4.6e18,
+              "constant too large for exact encoding");
+    const i64 v = static_cast<i64>(std::llround(value * scale));
+    for (size_t i = 0; i < poly.limbCount(); ++i) {
+        const i64 q = static_cast<i64>(poly.modulus(i));
+        i64 r = v % q;
+        if (r < 0)
+            r += q;
+        poly.limb(i)[0] = static_cast<u64>(r);
+    }
+    poly.toEval();
+
+    Plaintext pt;
+    pt.poly = std::move(poly);
+    pt.limbs = limbs;
+    pt.scale = scale;
+    return pt;
+}
+
+Plaintext
+CkksEncoder::encodeCoefficients(const std::vector<double> &coeffs,
+                                int limbs, double scale) const
+{
+    const u64 n = ctx_->degree();
+    UFC_CHECK(coeffs.size() <= n, "too many coefficients");
+    RnsPoly poly = ctx_->makePoly(limbs, PolyForm::Coeff);
+    for (size_t k = 0; k < coeffs.size(); ++k) {
+        UFC_CHECK(std::abs(coeffs[k] * scale) < 4.6e18,
+                  "coefficient too large for exact encoding");
+        const i64 v = static_cast<i64>(std::llround(coeffs[k] * scale));
+        for (size_t i = 0; i < poly.limbCount(); ++i) {
+            const i64 q = static_cast<i64>(poly.modulus(i));
+            i64 r = v % q;
+            if (r < 0)
+                r += q;
+            poly.limb(i)[k] = static_cast<u64>(r);
+        }
+    }
+    poly.toEval();
+
+    Plaintext pt;
+    pt.poly = std::move(poly);
+    pt.limbs = limbs;
+    pt.scale = scale;
+    return pt;
+}
+
+std::vector<cplx>
+CkksEncoder::decode(const Plaintext &pt) const
+{
+    const u64 n = ctx_->degree();
+    const u64 twoN = 2 * n;
+
+    RnsPoly poly = pt.poly;
+    poly.toCoeff();
+
+    // Fast signed reconstruction: for each coefficient compute the CRT
+    // value mod 2^64 plus the rounded rational correction; exact while the
+    // signed value fits in 63 bits (message + noise << q product).
+    const size_t L = poly.limbCount();
+    RnsBasis basis(poly.moduli());
+    std::vector<u64> hat64(L, 1);
+    u64 qProd64 = 1;
+    for (size_t i = 0; i < L; ++i)
+        qProd64 *= basis.value(i); // wraps mod 2^64 by design
+    for (size_t i = 0; i < L; ++i) {
+        u64 h = 1;
+        for (size_t j = 0; j < L; ++j) {
+            if (j != i)
+                h *= basis.value(j);
+        }
+        hat64[i] = h;
+    }
+
+    std::vector<cplx> m(twoN, cplx(0.0, 0.0));
+    for (u64 k = 0; k < n; ++k) {
+        u64 acc = 0;
+        long double frac = 0.0L;
+        for (size_t i = 0; i < L; ++i) {
+            const u64 y = basis.mod(i).mul(poly.limb(i)[k],
+                                           basis.qHatInvModQi(i));
+            acc += y * hat64[i];
+            frac += static_cast<long double>(y) /
+                    static_cast<long double>(basis.value(i));
+        }
+        const u64 rounds = static_cast<u64>(
+            std::llroundl(frac));
+        const i64 v = static_cast<i64>(acc - rounds * qProd64);
+        m[k] = cplx(static_cast<double>(v) / pt.scale, 0.0);
+    }
+
+    fft(m, false);
+    std::vector<cplx> out(ctx_->slots());
+    for (u64 j = 0; j < ctx_->slots(); ++j)
+        out[j] = m[rotGroup_[j]];
+    return out;
+}
+
+} // namespace ckks
+} // namespace ufc

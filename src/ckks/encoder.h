@@ -1,0 +1,70 @@
+/**
+ * @file
+ * CKKS canonical-embedding encoder (paper Section II-B).
+ *
+ * A vector of n = N/2 complex slots is embedded into a real polynomial so
+ * that slot j equals m(omega^(5^j)) for the primitive 2N-th complex root
+ * omega.  Under this indexing the Galois automorphism X -> X^(5^r) rotates
+ * the slot vector by r positions, and X -> X^(2N-1) conjugates it.
+ */
+
+#ifndef UFC_CKKS_ENCODER_H
+#define UFC_CKKS_ENCODER_H
+
+#include <vector>
+
+#include "ckks/context.h"
+#include "math/fft.h"
+
+namespace ufc {
+namespace ckks {
+
+/** A CKKS plaintext: an RNS polynomial plus scale/level bookkeeping. */
+struct Plaintext
+{
+    RnsPoly poly;       ///< Eval form by convention
+    int limbs = 0;      ///< number of q limbs
+    double scale = 0.0; ///< encoding scale
+};
+
+/** Encoder/decoder between complex slot vectors and plaintexts. */
+class CkksEncoder
+{
+  public:
+    explicit CkksEncoder(const CkksContext *ctx);
+
+    u64 slots() const { return ctx_->slots(); }
+
+    /**
+     * Encode `values` (size <= N/2; shorter vectors are zero-padded) at
+     * the given limb count and scale.  The scaled polynomial coefficients
+     * must stay below 2^62 in magnitude.
+     */
+    Plaintext encode(const std::vector<cplx> &values, int limbs,
+                     double scale) const;
+    Plaintext encode(const std::vector<double> &values, int limbs,
+                     double scale) const;
+
+    /** Encode a constant into every slot. */
+    Plaintext encodeConstant(double value, int limbs, double scale) const;
+
+    /**
+     * Decode a plaintext back to complex slots.  Coefficient magnitudes
+     * (message plus noise) must be below 2^62 for the fast signed-CRT
+     * reconstruction used here.
+     */
+    std::vector<cplx> decode(const Plaintext &pt) const;
+
+    /** Raw real polynomial coefficients -> plaintext (for transforms). */
+    Plaintext encodeCoefficients(const std::vector<double> &coeffs,
+                                 int limbs, double scale) const;
+
+  private:
+    const CkksContext *ctx_;
+    std::vector<u32> rotGroup_; ///< 5^j mod 2N
+};
+
+} // namespace ckks
+} // namespace ufc
+
+#endif // UFC_CKKS_ENCODER_H

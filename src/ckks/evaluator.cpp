@@ -1,0 +1,343 @@
+/**
+ * @file
+ * CKKS evaluator implementation.
+ */
+
+#include "ckks/evaluator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ufc {
+namespace ckks {
+
+namespace {
+
+void
+checkSameShape(const Ciphertext &a, const Ciphertext &b)
+{
+    UFC_CHECK(a.limbs == b.limbs, "ciphertext level mismatch");
+    const double ratio = a.scale / b.scale;
+    UFC_CHECK(ratio > 0.999 && ratio < 1.001,
+              "ciphertext scale mismatch: " << a.scale << " vs " << b.scale);
+}
+
+} // namespace
+
+Ciphertext
+CkksEvaluator::add(const Ciphertext &a, const Ciphertext &b) const
+{
+    checkSameShape(a, b);
+    Ciphertext out = a;
+    out.c0.addInPlace(b.c0);
+    out.c1.addInPlace(b.c1);
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::sub(const Ciphertext &a, const Ciphertext &b) const
+{
+    checkSameShape(a, b);
+    Ciphertext out = a;
+    out.c0.subInPlace(b.c0);
+    out.c1.subInPlace(b.c1);
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::negate(const Ciphertext &a) const
+{
+    Ciphertext out = a;
+    out.c0.negInPlace();
+    out.c1.negInPlace();
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::addPlain(const Ciphertext &a, const Plaintext &p) const
+{
+    UFC_CHECK(a.limbs == p.limbs, "plaintext level mismatch");
+    Ciphertext out = a;
+    out.c0.addInPlace(p.poly);
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::subPlain(const Ciphertext &a, const Plaintext &p) const
+{
+    UFC_CHECK(a.limbs == p.limbs, "plaintext level mismatch");
+    Ciphertext out = a;
+    out.c0.subInPlace(p.poly);
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::mulPlain(const Ciphertext &a, const Plaintext &p) const
+{
+    UFC_CHECK(a.limbs == p.limbs, "plaintext level mismatch");
+    Ciphertext out = a;
+    out.c0.mulEvalInPlace(p.poly);
+    out.c1.mulEvalInPlace(p.poly);
+    out.scale = a.scale * p.scale;
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::multiply(const Ciphertext &a, const Ciphertext &b,
+                        const EvalKey &relin) const
+{
+    checkSameShape(a, b);
+    // Tensor product: (e0, e1, e2) with e2 multiplying s^2.
+    RnsPoly e0 = a.c0;
+    e0.mulEvalInPlace(b.c0);
+
+    RnsPoly e1 = a.c0;
+    e1.mulEvalInPlace(b.c1);
+    RnsPoly t = a.c1;
+    t.mulEvalInPlace(b.c0);
+    e1.addInPlace(t);
+
+    RnsPoly e2 = a.c1;
+    e2.mulEvalInPlace(b.c1);
+
+    // Relinearize e2 back onto (c0, c1).
+    auto [d0, d1] = keySwitch(e2, relin);
+    e0.addInPlace(d0);
+    e1.addInPlace(d1);
+
+    Ciphertext out;
+    out.c0 = std::move(e0);
+    out.c1 = std::move(e1);
+    out.limbs = a.limbs;
+    out.scale = a.scale * b.scale;
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::square(const Ciphertext &a, const EvalKey &relin) const
+{
+    return multiply(a, a, relin);
+}
+
+Ciphertext
+CkksEvaluator::rescale(const Ciphertext &a) const
+{
+    UFC_CHECK(a.limbs >= 2, "cannot rescale at the last level");
+    const int limbs = a.limbs;
+    const u64 qLast = ctx_->qAt(limbs - 1);
+
+    Ciphertext out;
+    out.limbs = limbs - 1;
+    out.scale = a.scale / static_cast<double>(qLast);
+
+    for (RnsPoly Ciphertext::*member : {&Ciphertext::c0, &Ciphertext::c1}) {
+        RnsPoly p = a.*member;
+        p.toCoeff();
+        const Poly &last = p.limb(limbs - 1);
+        RnsPoly r = ctx_->makePoly(limbs - 1, PolyForm::Coeff);
+        for (int i = 0; i < limbs - 1; ++i) {
+            const Modulus qi(ctx_->qAt(i));
+            const u64 inv = ctx_->qLastInvModQ(limbs, i);
+            const u64 invShoup = qi.shoupPrecompute(inv);
+            Poly &dst = r.limb(i);
+            const Poly &src = p.limb(i);
+            for (u64 c = 0; c < src.degree(); ++c) {
+                const u64 diff =
+                    subMod(src[c], last[c] % qi.value(), qi.value());
+                dst[c] = qi.mulShoup(diff, inv, invShoup);
+            }
+        }
+        r.toEval();
+        out.*member = std::move(r);
+    }
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::dropToLimbs(const Ciphertext &a, int limbs) const
+{
+    UFC_CHECK(limbs >= 1 && limbs <= a.limbs, "bad target limbs");
+    Ciphertext out;
+    out.limbs = limbs;
+    out.scale = a.scale;
+    out.c0 = subPolyQ(ctx_, a.c0, limbs);
+    out.c1 = subPolyQ(ctx_, a.c1, limbs);
+    return out;
+}
+
+std::pair<RnsPoly, RnsPoly>
+CkksEvaluator::keySwitch(const RnsPoly &c, const EvalKey &key) const
+{
+    const int limbs = static_cast<int>(c.limbCount());
+    const int K = ctx_->specialLimbs();
+    const int digits = ctx_->digitsForLimbs(limbs);
+    const u64 n = ctx_->degree();
+    const auto qpModuli = ctx_->qpBasis(limbs);
+
+    RnsPoly cCoeff = c;
+    cCoeff.toCoeff();
+
+    RnsPoly acc0(ctx_->ring(), qpModuli, PolyForm::Eval);
+    RnsPoly acc1(ctx_->ring(), qpModuli, PolyForm::Eval);
+
+    for (int d = 0; d < digits; ++d) {
+        const auto [lo, hi] = ctx_->digitRange(d, limbs);
+
+        // Digit extraction: y_i = [c_i * QhatInv_d]_{q_i} for limbs in d.
+        std::vector<std::vector<u64>> y(hi - lo);
+        std::vector<Modulus> srcMods;
+        for (int i = lo; i < hi; ++i) {
+            const Modulus qi(ctx_->qAt(i));
+            srcMods.push_back(qi);
+            const u64 f = ctx_->qHatInvDigit(d, i);
+            const u64 fShoup = qi.shoupPrecompute(f);
+            y[i - lo].resize(n);
+            const Poly &src = cCoeff.limb(i);
+            for (u64 k = 0; k < n; ++k)
+                y[i - lo][k] = qi.mulShoup(src[k], f, fShoup);
+        }
+
+        // ModUp: fast base conversion of the digit to the full Q x P
+        // basis.  BConv(x)_t = sum_i [x_i * dHatInv_i]_{q_i} * dHat_i
+        // where the dHat products are over the digit's own limbs.
+        RnsBasis digitBasis(std::vector<u64>(
+            qpModuli.begin() + lo, qpModuli.begin() + hi));
+        RnsPoly up(ctx_->ring(), qpModuli, PolyForm::Coeff);
+        for (int i = lo; i < hi; ++i) {
+            const Modulus &qi = srcMods[i - lo];
+            const u64 f = digitBasis.qHatInvModQi(i - lo);
+            const u64 fShoup = qi.shoupPrecompute(f);
+            for (u64 k = 0; k < n; ++k)
+                y[i - lo][k] = qi.mulShoup(y[i - lo][k], f, fShoup);
+        }
+        for (size_t t = 0; t < qpModuli.size(); ++t) {
+            const int gt = static_cast<int>(t);
+            if (gt >= lo && gt < hi) {
+                // Target inside the digit: conversion is exact and equals
+                // c_i * QhatInv_d, i.e. undo the inner dHatInv scaling.
+                const Modulus &qi = srcMods[gt - lo];
+                const u64 dHat = digitBasis.qHatModP(gt - lo, qi);
+                const u64 dHatShoup = qi.shoupPrecompute(dHat);
+                Poly &dst = up.limb(t);
+                for (u64 k = 0; k < n; ++k)
+                    dst[k] = qi.mulShoup(y[gt - lo][k], dHat, dHatShoup);
+                continue;
+            }
+            const Modulus pt(qpModuli[t]);
+            Poly &dst = up.limb(t);
+            for (int i = lo; i < hi; ++i) {
+                const u64 hat = digitBasis.qHatModP(i - lo, pt);
+                const u64 hatShoup = pt.shoupPrecompute(hat);
+                const auto &yi = y[i - lo];
+                for (u64 k = 0; k < n; ++k) {
+                    dst[k] = pt.add(
+                        dst[k], pt.mulShoup(yi[k] % pt.value(), hat,
+                                            hatShoup));
+                }
+            }
+        }
+
+        // Inner product with the evaluation key (NTT + EWMM + EWMA).
+        up.toEval();
+        const RnsPoly kb = subPolyQp(ctx_, key.b[d], limbs);
+        const RnsPoly ka = subPolyQp(ctx_, key.a[d], limbs);
+        acc0.fmaEval(up, kb);
+        acc1.fmaEval(up, ka);
+    }
+
+    (void)K;
+    return {modDown(std::move(acc0), limbs),
+            modDown(std::move(acc1), limbs)};
+}
+
+RnsPoly
+CkksEvaluator::modDown(RnsPoly acc, int limbs) const
+{
+    const int K = ctx_->specialLimbs();
+    const u64 n = ctx_->degree();
+    acc.toCoeff();
+
+    // BConv the P part down to the q basis.
+    std::vector<u64> pMods = ctx_->pChain();
+    RnsBasis pBasis(pMods);
+    std::vector<std::vector<u64>> yp(K);
+    for (int j = 0; j < K; ++j) {
+        const Modulus pj(pMods[j]);
+        const u64 f = pBasis.qHatInvModQi(j);
+        const u64 fShoup = pj.shoupPrecompute(f);
+        yp[j].resize(n);
+        const Poly &src = acc.limb(limbs + j);
+        for (u64 k = 0; k < n; ++k)
+            yp[j][k] = pj.mulShoup(src[k], f, fShoup);
+    }
+
+    RnsPoly out = ctx_->makePoly(limbs, PolyForm::Coeff);
+    for (int i = 0; i < limbs; ++i) {
+        const Modulus qi(ctx_->qAt(i));
+        Poly &dst = out.limb(i);
+        // conv = BConv_P->qi(acc_P)
+        for (int j = 0; j < K; ++j) {
+            const u64 hat = pBasis.qHatModP(j, qi);
+            const u64 hatShoup = qi.shoupPrecompute(hat);
+            const auto &yj = yp[j];
+            for (u64 k = 0; k < n; ++k) {
+                dst[k] = qi.add(
+                    dst[k],
+                    qi.mulShoup(yj[k] % qi.value(), hat, hatShoup));
+            }
+        }
+        // (acc_q - conv) * P^-1 mod qi
+        const u64 pInv = ctx_->pInvModQ(i);
+        const u64 pInvShoup = qi.shoupPrecompute(pInv);
+        const Poly &src = acc.limb(i);
+        for (u64 k = 0; k < n; ++k) {
+            const u64 diff = subMod(src[k], dst[k], qi.value());
+            dst[k] = qi.mulShoup(diff, pInv, pInvShoup);
+        }
+    }
+    out.toEval();
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::applyGalois(const Ciphertext &a, u64 k,
+                           const EvalKey &galoisKey) const
+{
+    // Permute both components, then switch sigma_k(c1) from sigma_k(s)
+    // back to s.
+    RnsPoly g0 = a.c0.automorphism(k);
+    RnsPoly g1 = a.c1.automorphism(k);
+
+    auto [d0, d1] = keySwitch(g1, galoisKey);
+    d0.addInPlace(g0);
+
+    Ciphertext out;
+    out.c0 = std::move(d0);
+    out.c1 = std::move(d1);
+    out.limbs = a.limbs;
+    out.scale = a.scale;
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::rotate(const Ciphertext &a, int steps,
+                      const EvalKey &galoisKey) const
+{
+    const u64 twoN = 2 * ctx_->degree();
+    const u64 order = ctx_->degree() / 2;
+    i64 r = steps % static_cast<i64>(order);
+    if (r < 0)
+        r += static_cast<i64>(order);
+    const u64 k = powMod(5, static_cast<u64>(r), twoN);
+    return applyGalois(a, k, galoisKey);
+}
+
+Ciphertext
+CkksEvaluator::conjugate(const Ciphertext &a, const EvalKey &conjKey) const
+{
+    return applyGalois(a, 2 * ctx_->degree() - 1, conjKey);
+}
+
+} // namespace ckks
+} // namespace ufc

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * BSGS linear transform implementation.
+ */
+
+#include "ckks/linear_transform.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ufc {
+namespace ckks {
+
+namespace {
+
+/** Plaintext left rotation: out[j] = v[(j + r) mod n]. */
+std::vector<cplx>
+rotateVec(const std::vector<cplx> &v, i64 r)
+{
+    const i64 n = static_cast<i64>(v.size());
+    std::vector<cplx> out(v.size());
+    for (i64 j = 0; j < n; ++j)
+        out[j] = v[((j + r) % n + n) % n];
+    return out;
+}
+
+} // namespace
+
+LinearTransform::LinearTransform(const CkksContext *ctx,
+                                 const CkksEncoder *encoder,
+                                 std::map<int, std::vector<cplx>> diagonals,
+                                 double scale)
+    : ctx_(ctx), encoder_(encoder), diagonals_(std::move(diagonals)),
+      scale_(scale)
+{
+    UFC_CHECK(!diagonals_.empty(), "transform needs at least one diagonal");
+    for (const auto &[d, diag] : diagonals_) {
+        UFC_CHECK(d >= 0 && d < static_cast<int>(ctx_->slots()),
+                  "diagonal index out of range");
+        UFC_CHECK(diag.size() == ctx_->slots(), "diagonal length mismatch");
+    }
+    babyStep_ = std::max(
+        1, static_cast<int>(std::round(std::sqrt(
+               static_cast<double>(diagonals_.size())))));
+}
+
+LinearTransform
+LinearTransform::fromMatrix(const CkksContext *ctx,
+                            const CkksEncoder *encoder,
+                            const std::vector<std::vector<cplx>> &matrix,
+                            double scale)
+{
+    const size_t n = ctx->slots();
+    UFC_CHECK(matrix.size() == n, "matrix must be slots x slots");
+    std::map<int, std::vector<cplx>> diagonals;
+    for (size_t d = 0; d < n; ++d) {
+        std::vector<cplx> diag(n);
+        bool nonZero = false;
+        for (size_t j = 0; j < n; ++j) {
+            diag[j] = matrix[j][(j + d) % n];
+            if (std::abs(diag[j]) > 1e-12)
+                nonZero = true;
+        }
+        if (nonZero)
+            diagonals.emplace(static_cast<int>(d), std::move(diag));
+    }
+    return LinearTransform(ctx, encoder, std::move(diagonals), scale);
+}
+
+Ciphertext
+LinearTransform::apply(const CkksEvaluator &eval, const Ciphertext &ct,
+                       RotationKeySet &keys) const
+{
+    const int g = babyStep_;
+
+    // Baby rotations rot(x, i) for the inner indices that actually occur.
+    std::map<int, Ciphertext> babies;
+    babies.emplace(0, ct);
+    for (const auto &[d, diag] : diagonals_) {
+        (void)diag;
+        const int i = d % g;
+        if (!babies.count(i))
+            babies.emplace(i, eval.rotate(ct, i, keys.rotation(i)));
+    }
+
+    // Giant loop: inner plaintext-multiplied sums, rotated into place.
+    bool haveResult = false;
+    Ciphertext result;
+    auto giantIt = diagonals_.begin();
+    while (giantIt != diagonals_.end()) {
+        const int jg = giantIt->first / g;
+
+        bool haveInner = false;
+        Ciphertext inner;
+        for (auto it = giantIt;
+             it != diagonals_.end() && it->first / g == jg; ++it) {
+            const int i = it->first % g;
+            const auto preRotated = rotateVec(it->second,
+                                              -static_cast<i64>(g) * jg);
+            const Plaintext pt =
+                encoder_->encode(preRotated, ct.limbs, scale_);
+            Ciphertext term = eval.mulPlain(babies.at(i), pt);
+            if (!haveInner) {
+                inner = std::move(term);
+                haveInner = true;
+            } else {
+                inner = eval.add(inner, term);
+            }
+            giantIt = std::next(it);
+        }
+
+        if (jg != 0)
+            inner = eval.rotate(inner, g * jg, keys.rotation(g * jg));
+        if (!haveResult) {
+            result = std::move(inner);
+            haveResult = true;
+        } else {
+            result = eval.add(result, inner);
+        }
+    }
+    return result;
+}
+
+} // namespace ckks
+} // namespace ufc

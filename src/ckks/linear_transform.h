@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Homomorphic slot-wise linear transforms (matrix-vector products) with
+ * baby-step/giant-step rotation batching.
+ *
+ * y_j = sum_l M[j][l] * x_l is evaluated from the matrix's generalized
+ * diagonals: y = sum_d diag_d ⊙ rot(x, d).  BSGS splits d = g*j + i so a
+ * transform with D nonzero diagonals costs about 2*sqrt(D) rotations and
+ * D plaintext multiplications — the structure the paper's workload traces
+ * (CoeffToSlot, repacking) are built from.
+ */
+
+#ifndef UFC_CKKS_LINEAR_TRANSFORM_H
+#define UFC_CKKS_LINEAR_TRANSFORM_H
+
+#include <map>
+#include <vector>
+
+#include "ckks/encoder.h"
+#include "ckks/rotation_keys.h"
+
+namespace ufc {
+namespace ckks {
+
+/** A slot-space linear transform given by its nonzero diagonals. */
+class LinearTransform
+{
+  public:
+    /**
+     * @param diagonals  map from diagonal index d (0 <= d < slots) to the
+     *                   diagonal vector: diag_d[j] = M[j][(j + d) % n]
+     * @param scale      encoding scale for the diagonal plaintexts
+     */
+    LinearTransform(const CkksContext *ctx, const CkksEncoder *encoder,
+                    std::map<int, std::vector<cplx>> diagonals,
+                    double scale);
+
+    /** Build from a dense n x n matrix (drops all-zero diagonals). */
+    static LinearTransform fromMatrix(
+        const CkksContext *ctx, const CkksEncoder *encoder,
+        const std::vector<std::vector<cplx>> &matrix, double scale);
+
+    /**
+     * Apply to a ciphertext; consumes one multiplicative level (the
+     * caller rescales).  Output scale = ct.scale * encodeScale.
+     */
+    Ciphertext apply(const CkksEvaluator &eval, const Ciphertext &ct,
+                     RotationKeySet &keys) const;
+
+    size_t diagonalCount() const { return diagonals_.size(); }
+
+  private:
+    const CkksContext *ctx_;
+    const CkksEncoder *encoder_;
+    std::map<int, std::vector<cplx>> diagonals_;
+    double scale_;
+    int babyStep_;
+};
+
+} // namespace ckks
+} // namespace ufc
+
+#endif // UFC_CKKS_LINEAR_TRANSFORM_H

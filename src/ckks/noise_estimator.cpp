@@ -1,0 +1,87 @@
+/**
+ * @file
+ * CKKS noise estimator implementation.
+ *
+ * All bounds are heuristic high-probability bounds on the decoded
+ * absolute error, using sqrt-style cancellation for sums of independent
+ * terms (the standard average-case CKKS analysis).
+ */
+
+#include "ckks/noise_estimator.h"
+
+#include <cmath>
+
+namespace ufc {
+namespace ckks {
+
+namespace {
+
+constexpr double kSigma = 3.2;       // encryption noise stddev
+constexpr double kHpFactor = 6.0;    // high-probability multiplier
+
+} // namespace
+
+double
+NoiseEstimator::fresh(double scale) const
+{
+    // e + e_round with ternary secret: |err| ~ 6*sigma*sqrt(N)*... over
+    // the canonical embedding, divided by the scale.
+    const double n = static_cast<double>(ctx_->degree());
+    return kHpFactor * kSigma * std::sqrt(n) / scale;
+}
+
+double
+NoiseEstimator::rescaleError(double scale) const
+{
+    // Rounding adds tau0 + tau1*s with |tau| <= 1/2; for a dense ternary
+    // secret the canonical-embedding magnitude is ~ 0.3 * N / scale.
+    const double n = static_cast<double>(ctx_->degree());
+    return kHpFactor * 0.3 * n / scale;
+}
+
+double
+NoiseEstimator::keySwitchError(int limbs, double scale) const
+{
+    // Hybrid key switching: per digit, the raised polynomial (magnitude
+    // up to the digit product) multiplies the key noise, then ModDown
+    // divides by P >= the digit size; the residual is ~ digits * sigma *
+    // sqrt(N * alpha) * (Qtilde/P) / scale plus the ModDown rounding.
+    const double n = static_cast<double>(ctx_->degree());
+    const int digits = ctx_->digitsForLimbs(limbs);
+    // The factor 12 covers partial-digit slack (Qtilde close to P at low
+    // levels) and the double rounding of ModDown.
+    const double ksTerm = 12.0 * kHpFactor * kSigma * std::sqrt(n) *
+                          digits / scale;
+    return ksTerm + rescaleError(scale);
+}
+
+double
+NoiseEstimator::afterMultiply(double errA, double errB, double mBound,
+                              int limbs, double scale) const
+{
+    // (m_a + e_a)(m_b + e_b) = m_a m_b + m_a e_b + m_b e_a + e_a e_b;
+    // then relinearization and one rescale.
+    const double cross = mBound * (errA + errB) + errA * errB;
+    return cross + keySwitchError(limbs, scale) + rescaleError(scale);
+}
+
+int
+NoiseEstimator::supportedDepth(int limbs, double mBound,
+                               double tolerance) const
+{
+    double err = fresh(ctx_->scale());
+    int depth = 0;
+    double bound = mBound;
+    while (limbs >= 2) {
+        err = afterMultiply(err, err, bound, limbs, ctx_->scale());
+        bound = bound * bound;
+        --limbs;
+        if (err > tolerance || bound > 1e30)
+            break;
+        ++depth;
+    }
+    return depth;
+}
+
+} // namespace ckks
+} // namespace ufc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Analytic CKKS noise-budget estimator.
+ *
+ * Tracks a conservative bound on the invariant noise (absolute error in
+ * the decoded values) through homomorphic operations, so callers can
+ * predict when a computation needs more levels, a larger scale, or a
+ * bootstrap — without decrypting.  The model follows the standard
+ * RNS-CKKS noise heuristics (fresh encryption, tensor + relinearization,
+ * rescale rounding, rotation key switching).
+ */
+
+#ifndef UFC_CKKS_NOISE_ESTIMATOR_H
+#define UFC_CKKS_NOISE_ESTIMATOR_H
+
+#include "ckks/context.h"
+
+namespace ufc {
+namespace ckks {
+
+/** Tracks a per-ciphertext noise bound (absolute decoded error). */
+class NoiseEstimator
+{
+  public:
+    explicit NoiseEstimator(const CkksContext *ctx) : ctx_(ctx) {}
+
+    /** Estimated decoded error of a fresh encryption at `scale`. */
+    double fresh(double scale) const;
+
+    /**
+     * Error after multiplying two ciphertexts (messages bounded by
+     * |m| <= mBound) and rescaling once.
+     */
+    double afterMultiply(double errA, double errB, double mBound,
+                         int limbs, double scale) const;
+
+    /** Error added by one hybrid key switch at `limbs` (rotation or
+     *  relinearization). */
+    double keySwitchError(int limbs, double scale) const;
+
+    /** Error added by one rescale (rounding). */
+    double rescaleError(double scale) const;
+
+    /** Error after adding two ciphertexts. */
+    double afterAdd(double errA, double errB) const
+    {
+        return errA + errB;
+    }
+
+    /**
+     * Multiplicative depth supported from `limbs` levels for messages
+     * bounded by mBound before the error exceeds `tolerance`.
+     */
+    int supportedDepth(int limbs, double mBound, double tolerance) const;
+
+  private:
+    const CkksContext *ctx_;
+};
+
+} // namespace ckks
+} // namespace ufc
+
+#endif // UFC_CKKS_NOISE_ESTIMATOR_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * CKKS parameter set definitions.
+ */
+
+#include "ckks/params.h"
+
+namespace ufc {
+namespace ckks {
+
+double
+CkksParams::logPQ() const
+{
+    return static_cast<double>(firstModBits) +
+           static_cast<double>(levels - 1) * scaleBits +
+           static_cast<double>(specialLimbs) * specialBits;
+}
+
+CkksParams
+CkksParams::c1()
+{
+    // N = 2^16, dnum = 2, logPQ ~ 1785 (36 limbs x ~49.6 bits).
+    CkksParams p;
+    p.name = "C1";
+    p.ringDim = 1ULL << 16;
+    p.levels = 24;
+    p.dnum = 2;
+    p.specialLimbs = 12;
+    p.firstModBits = 55;
+    p.scaleBits = 49;
+    p.specialBits = 50;
+    return p;
+}
+
+CkksParams
+CkksParams::c2()
+{
+    // N = 2^16, dnum = 3, logPQ ~ 1764 (Table III).
+    CkksParams p;
+    p.name = "C2";
+    p.ringDim = 1ULL << 16;
+    p.levels = 27;
+    p.dnum = 3;
+    p.specialLimbs = 9;
+    p.firstModBits = 55;
+    p.scaleBits = 48;
+    p.specialBits = 50;
+    return p;
+}
+
+CkksParams
+CkksParams::c3()
+{
+    // N = 2^16, dnum = 4, logPQ ~ 1679 (Table III).
+    CkksParams p;
+    p.name = "C3";
+    p.ringDim = 1ULL << 16;
+    p.levels = 28;
+    p.dnum = 4;
+    p.specialLimbs = 7;
+    p.firstModBits = 55;
+    p.scaleBits = 47;
+    p.specialBits = 50;
+    return p;
+}
+
+CkksParams
+CkksParams::testFast()
+{
+    CkksParams p;
+    p.name = "TEST";
+    p.ringDim = 1ULL << 12;
+    p.levels = 6;
+    p.dnum = 3;
+    p.specialLimbs = 2;
+    p.firstModBits = 55;
+    p.scaleBits = 40;
+    p.specialBits = 55;
+    return p;
+}
+
+CkksParams
+CkksParams::testDeep()
+{
+    CkksParams p;
+    p.name = "TEST-DEEP";
+    p.ringDim = 1ULL << 13;
+    p.levels = 12;
+    p.dnum = 4;
+    p.specialLimbs = 3;
+    p.firstModBits = 58;
+    p.scaleBits = 45;
+    p.specialBits = 58;
+    return p;
+}
+
+} // namespace ckks
+} // namespace ufc

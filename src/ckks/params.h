@@ -1,0 +1,52 @@
+/**
+ * @file
+ * CKKS parameter sets.
+ *
+ * The paper's Table III sets C1-C3 use N = 2^16 with dnum in {2, 3, 4} and
+ * logPQ around 1700-1800; those drive the accelerator simulation.  The
+ * functional software tests use smaller rings with the same structure.
+ */
+
+#ifndef UFC_CKKS_PARAMS_H
+#define UFC_CKKS_PARAMS_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace ufc {
+namespace ckks {
+
+/** Algorithmic parameters for RNS-CKKS with hybrid key switching. */
+struct CkksParams
+{
+    std::string name;
+    u64 ringDim = 0;      ///< N
+    int levels = 0;       ///< L: number of scale-sized q limbs (incl. q0)
+    int dnum = 0;         ///< hybrid key-switching digit count
+    int specialLimbs = 0; ///< K = ceil(L / dnum) special primes
+    int firstModBits = 0; ///< log2(q0)
+    int scaleBits = 0;    ///< log2(q_i), i >= 1, and the encoding scale
+    int specialBits = 0;  ///< log2(p_j)
+    double sigma = 3.2;   ///< encryption noise stddev
+    /// Secret-key Hamming weight; 0 means dense ternary.  Bootstrapping
+    /// uses sparse secrets so the ModRaise overflow count I stays small.
+    int secretHamming = 0;
+
+    double logPQ() const;
+
+    /** Paper Table III sets (drive the simulator, not software tests). */
+    static CkksParams c1();
+    static CkksParams c2();
+    static CkksParams c3();
+
+    /** Small parameters for fast functional unit tests. */
+    static CkksParams testFast();
+    /** Medium parameters for integration tests (more levels). */
+    static CkksParams testDeep();
+};
+
+} // namespace ckks
+} // namespace ufc
+
+#endif // UFC_CKKS_PARAMS_H

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Homomorphic Chebyshev evaluation implementation.
+ */
+
+#include "ckks/poly_eval.h"
+
+#include <bit>
+#include <cmath>
+
+#include "ckks/chebyshev.h"
+#include "common/check.h"
+
+namespace ufc {
+namespace ckks {
+
+Ciphertext
+ChebyshevEvaluator::matchScale(const Ciphertext &ct, int limbs,
+                               double scale) const
+{
+    Ciphertext out = eval_->dropToLimbs(ct, limbs + 1 <= ct.limbs
+                                                ? limbs + 1
+                                                : ct.limbs);
+    UFC_CHECK(out.limbs >= 2, "matchScale needs a spare level");
+    // Multiply by 1.0 encoded at the ratio that lands exactly on the
+    // target scale after one rescale.
+    const double qLast = static_cast<double>(ctx_->qAt(out.limbs - 1));
+    const double ptScale = scale * qLast / out.scale;
+    UFC_CHECK(ptScale > 0.5, "cannot reach target scale");
+    out = eval_->mulPlain(out, encoder_->encodeConstant(1.0, out.limbs,
+                                                        ptScale));
+    out = eval_->rescale(out);
+    if (out.limbs > limbs)
+        out = eval_->dropToLimbs(out, limbs);
+    out.scale = scale; // exact by construction up to double rounding
+    return out;
+}
+
+ChebyshevEvaluator::Basis
+ChebyshevEvaluator::buildBasis(const Ciphertext &u, int baseDegree,
+                               int maxDegree) const
+{
+    Basis basis;
+    basis.cheb.resize(2 * maxDegree + 2);
+    basis.present.assign(2 * maxDegree + 2, false);
+
+    auto set = [&](int k, Ciphertext ct) {
+        basis.cheb[k] = std::move(ct);
+        basis.present[k] = true;
+    };
+    set(1, u);
+
+    // T_{2k} = 2 T_k^2 - 1, T_{2k+1} = 2 T_{k+1} T_k - T_1.
+    auto product = [&](int a, int b) {
+        Ciphertext ca = basis.cheb[a];
+        Ciphertext cb = basis.cheb[b];
+        const int limbs = std::min(ca.limbs, cb.limbs);
+        ca = eval_->dropToLimbs(ca, limbs);
+        cb = eval_->dropToLimbs(cb, limbs);
+        Ciphertext prod = eval_->multiply(ca, cb, *relin_);
+        prod = eval_->add(prod, prod); // 2 T_a T_b
+        return eval_->rescale(prod);
+    };
+
+    for (int k = 2; k <= baseDegree; ++k) {
+        if (basis.present[k])
+            continue;
+        if (k % 2 == 0) {
+            Ciphertext t = product(k / 2, k / 2);
+            t = eval_->subPlain(
+                t, encoder_->encodeConstant(1.0, t.limbs, t.scale));
+            set(k, std::move(t));
+        } else {
+            Ciphertext t = product(k / 2 + 1, k / 2);
+            Ciphertext t1 = matchScale(basis.cheb[1], t.limbs, t.scale);
+            set(k, eval_->sub(t, t1));
+        }
+    }
+
+    // Giants by doubling: T_{2m} = 2 T_m^2 - 1 (only as far as the
+    // series degree requires).
+    for (int m = baseDegree; 2 * m <= maxDegree; m *= 2) {
+        if (!basis.present[2 * m] && basis.present[m]) {
+            Ciphertext t = product(m, m);
+            t = eval_->subPlain(
+                t, encoder_->encodeConstant(1.0, t.limbs, t.scale));
+            set(2 * m, std::move(t));
+        }
+    }
+    return basis;
+}
+
+Ciphertext
+ChebyshevEvaluator::evalBaseCase(const Basis &basis,
+                                 const std::vector<double> &coeffs) const
+{
+    const int d = chebyshevDegree(coeffs);
+    int limbs = ctx_->levels();
+    bool any = false;
+    for (int k = 1; k <= d; ++k) {
+        if (std::abs(coeffs[k]) > 1e-14) {
+            UFC_CHECK(basis.present[k], "missing basis element T_" << k);
+            limbs = std::min(limbs, basis.cheb[k].limbs);
+            any = true;
+        }
+    }
+
+    if (!any) {
+        // Pure constant: an encryption of zero plus the plaintext.
+        Ciphertext zero = basis.cheb[1];
+        zero = eval_->sub(zero, zero);
+        zero = eval_->rescale(eval_->mulPlain(
+            zero, encoder_->encodeConstant(1.0, zero.limbs,
+                                           ctx_->scale())));
+        const double c0 = coeffs.empty() ? 0.0 : coeffs[0];
+        return eval_->addPlain(
+            zero, encoder_->encodeConstant(c0, zero.limbs, zero.scale));
+    }
+
+    // Every term c_k * T_k is produced at the common product scale
+    // `target` by choosing the plaintext scale per term, so the additions
+    // line up exactly.
+    const double target = ctx_->scale() * basis.cheb[1].scale;
+    bool have = false;
+    Ciphertext sum;
+    for (int k = 1; k <= d; ++k) {
+        if (std::abs(coeffs[k]) <= 1e-14)
+            continue;
+        Ciphertext term = eval_->dropToLimbs(basis.cheb[k], limbs);
+        const double ptScale = target / term.scale;
+        term = eval_->mulPlain(
+            term, encoder_->encodeConstant(coeffs[k], term.limbs,
+                                           ptScale));
+        term.scale = target;
+        if (!have) {
+            sum = std::move(term);
+            have = true;
+        } else {
+            sum = eval_->add(sum, term);
+        }
+    }
+    sum = eval_->rescale(sum);
+    // The constant term joins after the rescale, where the scale is small
+    // enough for exact integer encoding.
+    if (!coeffs.empty() && std::abs(coeffs[0]) > 1e-14) {
+        sum = eval_->addPlain(
+            sum, encoder_->encodeConstant(coeffs[0], sum.limbs,
+                                          sum.scale));
+    }
+    return sum;
+}
+
+Ciphertext
+ChebyshevEvaluator::evalRecursive(const Basis &basis,
+                                  const std::vector<double> &coeffs,
+                                  int baseDegree) const
+{
+    const int d = chebyshevDegree(coeffs);
+    if (d <= baseDegree)
+        return evalBaseCase(basis, coeffs);
+
+    // Split at the largest available giant T_m with m <= d.
+    int m = baseDegree;
+    while (2 * m <= d)
+        m *= 2;
+    auto [q, r] = chebyshevDivide(coeffs, m);
+
+    Ciphertext qCt = evalRecursive(basis, q, baseDegree);
+    UFC_CHECK(basis.present[m], "missing giant T_" << m);
+    Ciphertext tm = basis.cheb[m];
+    const int limbs = std::min(qCt.limbs, tm.limbs);
+    qCt = eval_->dropToLimbs(qCt, limbs);
+    tm = eval_->dropToLimbs(tm, limbs);
+    Ciphertext prod = eval_->rescale(eval_->multiply(qCt, tm, *relin_));
+
+    Ciphertext rCt = evalRecursive(basis, r, baseDegree);
+    // Align to a level where rCt still has the spare limb matchScale
+    // needs.
+    const int joinLimbs = std::min(prod.limbs, rCt.limbs - 1);
+    UFC_CHECK(joinLimbs >= 1, "polynomial evaluation ran out of levels");
+    if (prod.limbs > joinLimbs)
+        prod = eval_->dropToLimbs(prod, joinLimbs);
+    rCt = matchScale(rCt, joinLimbs, prod.scale);
+    return eval_->add(prod, rCt);
+}
+
+Ciphertext
+ChebyshevEvaluator::evaluate(const Ciphertext &u,
+                             const std::vector<double> &coeffs) const
+{
+    const int d = chebyshevDegree(coeffs);
+    UFC_CHECK(d >= 1, "constant series need no evaluation");
+    const int base = std::max(
+        2, 1 << (std::bit_width(static_cast<u32>(d)) / 2));
+    Basis basis = buildBasis(u, base, d);
+    return evalRecursive(basis, coeffs, base);
+}
+
+Ciphertext
+ChebyshevEvaluator::evaluateFunction(
+    const Ciphertext &x, const std::function<double(double)> &f, double a,
+    double b, int degree) const
+{
+    // Affine map u = (2x - a - b)/(b - a) costs one plaintext multiply.
+    const double mul = 2.0 / (b - a);
+    const double add = -(a + b) / (b - a);
+    Ciphertext u = eval_->mulPlain(
+        x, encoder_->encodeConstant(mul, x.limbs, ctx_->scale()));
+    u = eval_->rescale(u);
+    u = eval_->addPlain(u, encoder_->encodeConstant(add, u.limbs,
+                                                    u.scale));
+    return evaluate(u, chebyshevInterpolate(f, a, b, degree));
+}
+
+} // namespace ckks
+} // namespace ufc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Homomorphic Chebyshev-series evaluation with Paterson-Stockmeyer
+ * depth reduction — the engine behind EvalMod in CKKS bootstrapping and
+ * behind smooth-function evaluation (sigmoid, sign approximations) in the
+ * SIMD workloads.
+ */
+
+#ifndef UFC_CKKS_POLY_EVAL_H
+#define UFC_CKKS_POLY_EVAL_H
+
+#include <functional>
+
+#include "ckks/encoder.h"
+#include "ckks/evaluator.h"
+
+namespace ufc {
+namespace ckks {
+
+/** Evaluates Chebyshev series on ciphertexts encrypting u in [-1, 1]. */
+class ChebyshevEvaluator
+{
+  public:
+    ChebyshevEvaluator(const CkksContext *ctx, const CkksEncoder *encoder,
+                       const CkksEvaluator *eval, const EvalKey *relin)
+        : ctx_(ctx), encoder_(encoder), eval_(eval), relin_(relin)
+    {}
+
+    /**
+     * Evaluate sum_k coeffs[k] * T_k(u) homomorphically.  Consumes about
+     * ceil(log2(degree)) + 2 multiplicative levels.
+     */
+    Ciphertext evaluate(const Ciphertext &u,
+                        const std::vector<double> &coeffs) const;
+
+    /**
+     * Convenience: approximate f on [a, b] at the given degree and
+     * evaluate it on a ciphertext encrypting x in [a, b] (the affine map
+     * to [-1, 1] costs one more level).
+     */
+    Ciphertext evaluateFunction(const Ciphertext &x,
+                                const std::function<double(double)> &f,
+                                double a, double b, int degree) const;
+
+    /** Bring `ct` to exactly (limbs, scale), spending one level. */
+    Ciphertext matchScale(const Ciphertext &ct, int limbs,
+                          double scale) const;
+
+  private:
+    struct Basis
+    {
+        /// cheb[k] encrypts T_k(u); index 0 unused (T_0 handled as a
+        /// plaintext constant).
+        std::vector<Ciphertext> cheb;
+        std::vector<bool> present;
+    };
+
+    /** Build T_1..T_g and the giants T_2g, T_4g, ..., up to maxDegree. */
+    Basis buildBasis(const Ciphertext &u, int baseDegree,
+                     int maxDegree) const;
+
+    Ciphertext evalRecursive(const Basis &basis,
+                             const std::vector<double> &coeffs,
+                             int baseDegree) const;
+
+    /** Base case: linear combination of the precomputed T_k. */
+    Ciphertext evalBaseCase(const Basis &basis,
+                            const std::vector<double> &coeffs) const;
+
+    const CkksContext *ctx_;
+    const CkksEncoder *encoder_;
+    const CkksEvaluator *eval_;
+    const EvalKey *relin_;
+};
+
+} // namespace ckks
+} // namespace ufc
+
+#endif // UFC_CKKS_POLY_EVAL_H

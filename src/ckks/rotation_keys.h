@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A cache of Galois keys indexed by rotation step, shared by linear
+ * transforms and bootstrapping.
+ */
+
+#ifndef UFC_CKKS_ROTATION_KEYS_H
+#define UFC_CKKS_ROTATION_KEYS_H
+
+#include <map>
+
+#include "ckks/evaluator.h"
+
+namespace ufc {
+namespace ckks {
+
+/** Owns rotation/conjugation keys generated on demand. */
+class RotationKeySet
+{
+  public:
+    explicit RotationKeySet(const CkksKeyGenerator *keygen)
+        : keygen_(keygen)
+    {}
+
+    /** Key for a slot rotation by `steps` (generated on first use). */
+    const EvalKey &
+    rotation(int steps)
+    {
+        auto it = keys_.find(steps);
+        if (it == keys_.end())
+            it = keys_.emplace(steps,
+                               keygen_->makeRotationKey(steps)).first;
+        return it->second;
+    }
+
+    /** Conjugation key. */
+    const EvalKey &
+    conjugation()
+    {
+        if (!conj_)
+            conj_ = std::make_unique<EvalKey>(
+                keygen_->makeConjugationKey());
+        return *conj_;
+    }
+
+    size_t size() const { return keys_.size() + (conj_ ? 1 : 0); }
+
+  private:
+    const CkksKeyGenerator *keygen_;
+    std::map<int, EvalKey> keys_;
+    std::unique_ptr<EvalKey> conj_;
+};
+
+} // namespace ckks
+} // namespace ufc
+
+#endif // UFC_CKKS_ROTATION_KEYS_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Error-reporting helpers, modelled on gem5's panic()/fatal() split.
+ *
+ * ufcPanic()  — internal invariant violated (a bug in this library).
+ * ufcFatal()  — unusable user input (bad parameters, impossible request).
+ * UFC_CHECK   — cheap always-on invariant check with a formatted message.
+ */
+
+#ifndef UFC_COMMON_CHECK_H
+#define UFC_COMMON_CHECK_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ufc {
+
+/** Abort with a message; use for internal invariant violations. */
+[[noreturn]] inline void
+ufcPanic(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+/** Exit with a message; use for invalid user-supplied configuration. */
+[[noreturn]] inline void
+ufcFatal(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+} // namespace ufc
+
+#define UFC_CHECK(cond, msg)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream oss_;                                        \
+            oss_ << msg << " [" << __FILE__ << ":" << __LINE__ << "]";      \
+            ::ufc::ufcPanic(oss_.str());                                    \
+        }                                                                   \
+    } while (0)
+
+#define UFC_REQUIRE(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream oss_;                                        \
+            oss_ << msg;                                                    \
+            ::ufc::ufcFatal(oss_.str());                                    \
+        }                                                                   \
+    } while (0)
+
+#endif // UFC_COMMON_CHECK_H

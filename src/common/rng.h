@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deterministic random number generation for keys, noise and test data.
+ *
+ * All randomness in the library flows through Rng so that unit tests and
+ * examples are reproducible.  The generator is xoshiro256** seeded by
+ * splitmix64, which is fast and has no crypto requirements here: this repo
+ * is a research reproduction, not a hardened crypto implementation.
+ */
+
+#ifndef UFC_COMMON_RNG_H
+#define UFC_COMMON_RNG_H
+
+#include <cmath>
+
+#include "common/types.h"
+
+namespace ufc {
+
+/** Deterministic PRNG with uniform, ternary and discrete-gaussian draws. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed via splitmix64. */
+    void
+    reseed(u64 seed)
+    {
+        for (auto &word : state_) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            u64 z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+        gaussSpare_ = 0.0;
+        gaussHasSpare_ = false;
+    }
+
+    /** Next raw 64-bit value (xoshiro256**). */
+    u64
+    next()
+    {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). Bound must be nonzero. */
+    u64
+    uniform(u64 bound)
+    {
+        // Rejection sampling to remove modulo bias.
+        const u64 threshold = (0 - bound) % bound;
+        for (;;) {
+            u64 r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniformReal()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Ternary draw from {-1, 0, 1} returned mod q. */
+    u64
+    ternary(u64 q)
+    {
+        switch (next() % 3) {
+          case 0: return 0;
+          case 1: return 1;
+          default: return q - 1;
+        }
+    }
+
+    /** Gaussian draw (Marsaglia polar), standard deviation sigma. */
+    double
+    gaussian(double sigma)
+    {
+        if (gaussHasSpare_) {
+            gaussHasSpare_ = false;
+            return gaussSpare_ * sigma;
+        }
+        double u, v, s;
+        do {
+            u = 2.0 * uniformReal() - 1.0;
+            v = 2.0 * uniformReal() - 1.0;
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double mul = std::sqrt(-2.0 * std::log(s) / s);
+        gaussSpare_ = v * mul;
+        gaussHasSpare_ = true;
+        return u * mul * sigma;
+    }
+
+    /** Rounded gaussian reduced into [0, q). */
+    u64
+    gaussianMod(double sigma, u64 q)
+    {
+        i64 e = static_cast<i64>(std::llround(gaussian(sigma)));
+        i64 r = e % static_cast<i64>(q);
+        if (r < 0)
+            r += static_cast<i64>(q);
+        return static_cast<u64>(r);
+    }
+
+  private:
+    static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    u64 state_[4] = {};
+    double gaussSpare_ = 0.0;
+    bool gaussHasSpare_ = false;
+};
+
+} // namespace ufc
+
+#endif // UFC_COMMON_RNG_H

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fundamental integer typedefs used throughout the UFC codebase.
+ */
+
+#ifndef UFC_COMMON_TYPES_H
+#define UFC_COMMON_TYPES_H
+
+#include <cstdint>
+#include <cstddef>
+
+namespace ufc {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using i128 = __int128;
+
+} // namespace ufc
+
+#endif // UFC_COMMON_TYPES_H

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Lowering from the ciphertext-granularity trace IR to primitive hardware
+ * instructions.
+ *
+ * The lowering encodes the FHE algorithms' real primitive counts — hybrid
+ * key switching (ModUp / inner product / ModDown with dnum digits),
+ * rescaling, automorphisms, TFHE blind rotation and key switching — and
+ * applies the paper's compiler optimizations when the target supports
+ * them: automorphism-via-NTT (Section IV-C2), rotation-as-monomial-
+ * multiply (IV-C3), small-polynomial packing (V-A) and the TvLP/PLP/CoLP
+ * parallel scheduling priority (V-B).
+ */
+
+#ifndef UFC_COMPILER_LOWERING_H
+#define UFC_COMPILER_LOWERING_H
+
+#include "isa/inst.h"
+#include "trace/trace.h"
+
+namespace ufc {
+namespace compiler {
+
+/** Parallelism source prioritized when packing small polynomials. */
+enum class Parallelism
+{
+    TvLP, ///< batch independent bootstraps (test-vector level)
+    CoLP, ///< batch decomposed columns of one external product
+};
+
+/** Machine-dependent lowering knobs. */
+struct LoweringOptions
+{
+    // Word geometry.
+    int wordBits = 32;
+
+    // Throughput geometry used for packing decisions.
+    int totalButterflies = 8192;
+    int totalVectorLanes = 16384;
+
+    // Paper optimizations.
+    bool autoViaNtt = true;        ///< else: NoC shuffle (SHARP style)
+    bool rotateAsMonomialMul = true;
+    bool smallPolyPacking = true;  ///< Section V-A
+    Parallelism parallelism = Parallelism::TvLP;
+    bool onTheFlyKeyGen = true;    ///< halve key traffic, add ALU work
+
+    int
+    wordsPerCoeff(int limbBits) const
+    {
+        return (limbBits + wordBits - 1) / wordBits;
+    }
+};
+
+/**
+ * Lowers a trace to an instruction stream, tracking buffer identities so
+ * the scratchpad model sees a realistic working set.
+ */
+class Lowering
+{
+  public:
+    Lowering(const trace::Trace *tr, const LoweringOptions &opts,
+             isa::InstSink *sink);
+
+    /** Lower the whole trace. */
+    void run();
+
+    /** Lower a single op (used recursively, e.g. repacking). */
+    void lowerOp(const trace::TraceOp &op);
+
+  private:
+    // CKKS pieces.
+    void ckksKeySwitch(int limbs, int polys, u64 keyBufferBase);
+    void ckksMult(const trace::TraceOp &op);
+    void ckksRotate(const trace::TraceOp &op, bool conjugate);
+    void ckksRescale(const trace::TraceOp &op);
+    void ckksModRaise(const trace::TraceOp &op);
+
+    // TFHE pieces.
+    void tfhePbs(const trace::TraceOp &op);
+    void tfheKeySwitch(int count);
+    void tfheLinear(const trace::TraceOp &op);
+
+    // Scheme switching.
+    void switchExtract(const trace::TraceOp &op);
+    void switchRepack(const trace::TraceOp &op);
+
+    // Emission helpers.
+    void emit(isa::HwOp op, u32 logDegree, u32 batch, u64 words, u64 work,
+              std::vector<isa::BufferRef> buffers = {});
+    isa::BufferRef ctBuffer(bool write);
+    isa::BufferRef keyBuffer(u64 id, u64 bytes);
+    isa::BufferRef plaintextBuffer(const trace::TraceOp &op, int c);
+
+    /** Batch of packed small polynomials for TFHE ops (Section V-A/B). */
+    int packFactor(u64 ringDim, int available) const;
+
+    const trace::Trace *trace_;
+    LoweringOptions opts_;
+    isa::InstSink *sink_;
+
+    // CKKS geometry cached from the trace.
+    int logN_ = 0;
+    u64 n_ = 0;
+    int wCkks_ = 1;   ///< machine words per CKKS coefficient
+    double bytesCkks_ = 0.0;
+    int alpha_ = 1;   ///< limbs per key-switching digit
+    int specialK_ = 0;
+
+    // TFHE geometry.
+    int logNt_ = 0;
+    u64 nt_ = 0;
+    int wTfhe_ = 1;
+    double bytesTfhe_ = 0.0;
+
+    // Rolling ciphertext-buffer pool (working-set model).
+    u64 nextCt_ = 0;
+    u64 nextPt_ = 0;
+
+    // Buffer id namespaces.
+    static constexpr u64 kCtBase = 1ULL << 40;
+    static constexpr u64 kEvkBase = 2ULL << 40;
+    static constexpr u64 kGkBase = 3ULL << 40;
+    static constexpr u64 kBtkBase = 4ULL << 40;
+    static constexpr u64 kKskBase = 5ULL << 40;
+    static constexpr u64 kPtBase = 6ULL << 40;
+};
+
+} // namespace compiler
+} // namespace ufc
+
+#endif // UFC_COMPILER_LOWERING_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The primitive hardware instruction set (paper Table I).
+ *
+ * Every high-level FHE operation in both schemes lowers to a stream of
+ * these primitive instructions: parallel butterfly work ((i)NTT), parallel
+ * modular arithmetic (EWMM/EWMA and BConv MACs), digit decomposition, and
+ * the near-memory LWE operations (Extract, REDC).  Automorphism lowers to
+ * NttAuto — the re-rooted NTT of Section IV-C2 — and polynomial rotation
+ * to an evaluation-form monomial multiply (Section IV-C3), so no dedicated
+ * shuffle instructions are needed beyond the CG-NTT network itself.
+ */
+
+#ifndef UFC_ISA_INST_H
+#define UFC_ISA_INST_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace ufc {
+namespace isa {
+
+/** Primitive opcodes executed by the accelerator models. */
+enum class HwOp
+{
+    Ntt,        ///< forward NTT (CG-DIF on UFC)
+    Intt,       ///< inverse NTT (CG-DIT on UFC)
+    NttAuto,    ///< NTT with re-indexed roots: automorphism via NTT
+    Ewmm,       ///< element-wise modular multiply
+    Ewma,       ///< element-wise modular add (also sub/neg)
+    EwScale,    ///< multiply by per-limb scalar
+    BconvMac,   ///< base-conversion multiply-accumulate
+    Decomp,     ///< gadget digit decomposition
+    MonomialMul,///< rotation as evaluation-form monomial multiply
+    Extract,    ///< LWE extraction (near-memory LWEU)
+    Reduce,     ///< LWE reduction / accumulation (LWEU)
+    Shuffle,    ///< inter-channel crossbar data shuffling
+    KeyGenOtf,  ///< on-the-fly key / twiddle generation
+};
+
+/** Hardware resources instructions occupy (for utilization accounting). */
+enum class Resource
+{
+    Butterfly, ///< butterfly ALUs
+    VectorAlu, ///< modular mul/add lanes
+    Noc,       ///< global interconnect (CG network + crossbar)
+    Lweu,      ///< near-memory LWE unit
+    NumResources,
+};
+
+constexpr int kNumResources = static_cast<int>(Resource::NumResources);
+
+/** A named operand region used by the scratchpad model. */
+struct BufferRef
+{
+    u64 id = 0;       ///< stable identifier (ciphertext, key, plaintext)
+    u64 bytes = 0;    ///< size of the region touched
+    bool write = false;
+    bool transient = false; ///< produced and consumed on chip; never DRAM
+    /// Streamed every use and never cached (e.g. on-the-fly regenerated
+    /// keys: only the seed/partial material moves, but it moves each
+    /// time rather than occupying scratchpad).
+    bool streaming = false;
+};
+
+/** One primitive instruction. */
+struct HwInst
+{
+    HwOp op = HwOp::Ewma;
+    u32 logDegree = 0; ///< log2 of the per-polynomial degree
+    u32 batch = 1;     ///< polynomials processed together (packing)
+    u64 words = 0;     ///< machine words read per operand stream
+    u64 work = 0;      ///< op-specific work units (butterflies, MACs, ...)
+    std::vector<BufferRef> buffers;
+};
+
+/** Convenience: instruction stream consumer interface. */
+class InstSink
+{
+  public:
+    virtual ~InstSink() = default;
+    virtual void issue(const HwInst &inst) = 0;
+};
+
+} // namespace isa
+} // namespace ufc
+
+#endif // UFC_ISA_INST_H

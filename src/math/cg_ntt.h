@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Constant-geometry (Pease) NTT.
+ *
+ * The UFC hardware (paper Section IV-C1) uses the constant-geometry NTT so
+ * that every one of the log(N) stages applies the *same* permutation (the
+ * perfect shuffle), allowing a single fixed interconnect instead of log(N)
+ * distinct stage networks.  The forward transform uses decimation in
+ * frequency (DIF), the inverse decimation in time (DIT), matching Figure 6.
+ *
+ * The negacyclic twist is applied as explicit pre/post scaling by powers of
+ * psi.  This keeps the shuffle machinery a pure cyclic DFT, which is also
+ * what enables the automorphism-via-NTT trick: re-running the transform with
+ * omega^k in place of omega evaluates f(X^k).
+ *
+ * CgNtt also implements the small-polynomial packing of Section V-A: P
+ * packed degree-M polynomials stored contiguously are transformed in log(M)
+ * constant-geometry stages and land in the interleaved evaluation layout of
+ * Figure 7 (coefficient i of polynomial p at slot i*P + p).
+ */
+
+#ifndef UFC_MATH_CG_NTT_H
+#define UFC_MATH_CG_NTT_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "math/mod_arith.h"
+
+namespace ufc {
+
+/** Constant-geometry negacyclic NTT over Z_q[X]/(X^N + 1). */
+class CgNtt
+{
+  public:
+    /**
+     * Build tables for degree n and modulus q.  psi, if nonzero, overrides
+     * the automatically selected primitive 2n-th root of unity.
+     */
+    CgNtt(u64 n, u64 q, u64 psi = 0);
+
+    u64 degree() const { return n_; }
+    const Modulus &modulus() const { return mod_; }
+
+    /**
+     * Forward negacyclic NTT (DIF constant geometry): coefficient form in
+     * natural order to evaluation form in natural order.
+     */
+    void forward(std::vector<u64> &a) const;
+
+    /** Inverse negacyclic NTT (DIT constant geometry). */
+    void inverse(std::vector<u64> &a) const;
+
+    /**
+     * Forward transform of f(X^k): the automorphism-via-NTT formulation of
+     * Section IV-C2.  Computes the evaluation form of the automorphism image
+     * sigma_k(f) directly from the coefficient form of f, using the same
+     * shuffle network with re-indexed twiddles.  k must be odd.
+     */
+    void forwardAutomorphism(std::vector<u64> &a, u64 k) const;
+
+    /**
+     * Small-polynomial packing (Section V-A): treat `a` as P = n/m packed
+     * degree-m polynomials in the continuous layout and transform each to
+     * evaluation form, producing the interleaved layout of Figure 7.
+     * Runs log(m) constant-geometry stages worth of work.
+     */
+    void packedForward(std::vector<u64> &a, u64 m) const;
+
+    /** Inverse of packedForward: interleaved evaluations back to packed
+     *  coefficient form in the continuous layout. */
+    void packedInverse(std::vector<u64> &a, u64 m) const;
+
+    /**
+     * The single permutation the hardware network implements: the perfect
+     * shuffle (left rotation of the log(N)-bit lane address).  Exposed so
+     * the interconnect model and tests can validate against it.
+     */
+    static u64
+    perfectShuffle(u64 index, int logN)
+    {
+        const u64 mask = (1ULL << logN) - 1;
+        return ((index << 1) | (index >> (logN - 1))) & mask;
+    }
+
+  private:
+    /** Cyclic DIF constant-geometry stages with root w (order n). */
+    void cyclicForward(std::vector<u64> &a, u64 w) const;
+    /** Cyclic DIT constant-geometry stages (inverse), root w. */
+    void cyclicInverse(std::vector<u64> &a, u64 w) const;
+
+    u64 n_ = 0;
+    int logN_ = 0;
+    Modulus mod_;
+    u64 psi_ = 0, psiInv_ = 0;
+    u64 omega_ = 0, omegaInv_ = 0;
+    u64 nInv_ = 0;
+    // Pre/post twist tables for the negacyclic wrap.
+    std::vector<u64> twist_, twistShoup_;
+    std::vector<u64> untwist_, untwistShoup_;
+};
+
+} // namespace ufc
+
+#endif // UFC_MATH_CG_NTT_H

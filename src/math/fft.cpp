@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Iterative radix-2 FFT implementation.
+ */
+
+#include "math/fft.h"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "math/ntt.h"
+
+namespace ufc {
+
+void
+fft(std::vector<cplx> &a, bool inverse)
+{
+    const u64 n = a.size();
+    UFC_CHECK(n >= 1 && std::has_single_bit(n), "FFT size must be 2^k");
+    const int logN = std::countr_zero(n);
+
+    for (u64 i = 0; i < n; ++i) {
+        const u64 r = bitReverse(static_cast<u32>(i), logN);
+        if (r > i)
+            std::swap(a[i], a[r]);
+    }
+    for (u64 len = 2; len <= n; len <<= 1) {
+        const double ang =
+            2.0 * std::numbers::pi / static_cast<double>(len) *
+            (inverse ? -1.0 : 1.0);
+        const cplx wl(std::cos(ang), std::sin(ang));
+        for (u64 i = 0; i < n; i += len) {
+            cplx w(1.0, 0.0);
+            for (u64 j = 0; j < len / 2; ++j) {
+                const cplx u = a[i + j];
+                const cplx v = a[i + j + len / 2] * w;
+                a[i + j] = u + v;
+                a[i + j + len / 2] = u - v;
+                w *= wl;
+            }
+        }
+    }
+    if (inverse) {
+        for (auto &x : a)
+            x /= static_cast<double>(n);
+    }
+}
+
+std::vector<double>
+negacyclicFftMul(const std::vector<double> &a, const std::vector<double> &b)
+{
+    const u64 n = a.size();
+    UFC_CHECK(b.size() == n, "operand size mismatch");
+    // Twist by the primitive 2n-th complex root to turn negacyclic into
+    // cyclic convolution, exactly as torus-FHE FFT implementations do.
+    std::vector<cplx> fa(n), fb(n);
+    const double ang = std::numbers::pi / static_cast<double>(n);
+    for (u64 j = 0; j < n; ++j) {
+        const cplx tw(std::cos(ang * j), std::sin(ang * j));
+        fa[j] = a[j] * tw;
+        fb[j] = b[j] * tw;
+    }
+    fft(fa, false);
+    fft(fb, false);
+    for (u64 j = 0; j < n; ++j)
+        fa[j] *= fb[j];
+    fft(fa, true);
+    std::vector<double> c(n);
+    for (u64 j = 0; j < n; ++j) {
+        const cplx tw(std::cos(ang * j), -std::sin(ang * j));
+        c[j] = (fa[j] * tw).real();
+    }
+    return c;
+}
+
+} // namespace ufc

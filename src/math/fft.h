@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Double-precision complex FFT.
+ *
+ * Used by the CKKS canonical-embedding encoder and by the Strix baseline
+ * model (Strix computes TFHE polynomial products with 64-bit FFT units,
+ * paper Section VII-D).
+ */
+
+#ifndef UFC_MATH_FFT_H
+#define UFC_MATH_FFT_H
+
+#include <complex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ufc {
+
+using cplx = std::complex<double>;
+
+/**
+ * Radix-2 iterative FFT on a power-of-two-sized vector.
+ * inverse == true applies conjugate twiddles and the 1/N scale.
+ */
+void fft(std::vector<cplx> &a, bool inverse);
+
+/**
+ * Negacyclic convolution of two real-coefficient polynomials of degree n
+ * (mod X^n + 1) computed through the complex FFT, the way Strix-style
+ * FFT-based TFHE accelerators evaluate external products.  Coefficients are
+ * returned rounded to the nearest integer (double-precision accuracy).
+ */
+std::vector<double> negacyclicFftMul(const std::vector<double> &a,
+                                     const std::vector<double> &b);
+
+} // namespace ufc
+
+#endif // UFC_MATH_FFT_H

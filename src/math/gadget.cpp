@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Balanced gadget decomposition implementation.
+ */
+
+#include "math/gadget.h"
+
+#include "common/check.h"
+
+namespace ufc {
+
+Gadget::Gadget(u64 q, int logBase, int levels)
+    : mod_(q), logBase_(logBase), levels_(levels)
+{
+    UFC_CHECK(logBase >= 1 && levels >= 1, "bad gadget parameters");
+    UFC_CHECK(logBase * levels <= 62, "gadget precision too large");
+    g_.resize(levels);
+    // g_i = round(q / B^(i+1)), computed as scaled division.
+    for (int i = 0; i < levels; ++i) {
+        const u128 denom = static_cast<u128>(1)
+            << (logBase_ * (i + 1));
+        g_[i] = static_cast<u64>((static_cast<u128>(q) + denom / 2) / denom);
+    }
+}
+
+void
+Gadget::decompose(u64 x, u64 *digits) const
+{
+    const u64 q = mod_.value();
+    const u64 b = base();
+    const u64 halfB = b >> 1;
+    const int total = logBase_ * levels_;
+
+    // Scale x to a fixed-point value with logBase*levels fractional bits of
+    // q: xHat = round(x * B^l / q).
+    u128 num = (static_cast<u128>(x) << total) + q / 2;
+    u64 xHat = static_cast<u64>(num / q);
+
+    // Extract balanced digits least-significant first with carry
+    // propagation; digit k (LSB side) pairs with g_{l-1-k}.
+    u64 carry = 0;
+    for (int k = 0; k < levels_; ++k) {
+        const u64 d = (xHat & (b - 1)) + carry;
+        xHat >>= logBase_;
+        if (d >= halfB) {
+            // Balanced: digits in [B/2, B] represent d - B, carry one up.
+            digits[levels_ - 1 - k] = mod_.sub(0, b - d);
+            carry = 1;
+        } else {
+            digits[levels_ - 1 - k] = mod_.reduce(d);
+            carry = 0;
+        }
+    }
+    // A final carry folds into nothing: it corresponds to a multiple of q
+    // (up to the rounding error the gadget tolerates).
+}
+
+u64
+Gadget::recompose(const u64 *digits) const
+{
+    u64 acc = 0;
+    for (int i = 0; i < levels_; ++i)
+        acc = mod_.add(acc, mod_.mul(digits[i], g_[i]));
+    return acc;
+}
+
+} // namespace ufc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Gadget (digit) decomposition.
+ *
+ * TFHE external products and key switching decompose ciphertext elements
+ * w.r.t. a gadget vector g = (q/B, q/B^2, ..., q/B^l) so that
+ * sum_i d_i * g_i ≈ x with |d_i| <= B/2 (signed, balanced digits).  This is
+ * the Decomp primitive of paper Table I.
+ */
+
+#ifndef UFC_MATH_GADGET_H
+#define UFC_MATH_GADGET_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "math/mod_arith.h"
+
+namespace ufc {
+
+/** Balanced base-B digit decomposition over Z_q. */
+class Gadget
+{
+  public:
+    /**
+     * @param q       ciphertext modulus
+     * @param logBase log2 of the decomposition base B
+     * @param levels  number of digits l
+     */
+    Gadget(u64 q, int logBase, int levels);
+
+    int levels() const { return levels_; }
+    int logBase() const { return logBase_; }
+    u64 base() const { return 1ULL << logBase_; }
+
+    /** The gadget element g_i = round(q / B^(i+1)). */
+    u64 g(int i) const { return g_[i]; }
+
+    /**
+     * Decompose x in [0, q) into `levels` balanced digits d_i (returned
+     * mod q) with sum_i d_i * g_i ≈ x; the approximation error is at most
+     * g_{l-1}/2 in absolute value.
+     */
+    void decompose(u64 x, u64 *digits) const;
+
+    /** Recompose digits back; useful for tests. */
+    u64 recompose(const u64 *digits) const;
+
+  private:
+    Modulus mod_;
+    int logBase_ = 0;
+    int levels_ = 0;
+    std::vector<u64> g_;
+};
+
+} // namespace ufc
+
+#endif // UFC_MATH_GADGET_H

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Word-size modular arithmetic.
+ *
+ * All FHE coefficient math in this repo runs over word-size RNS moduli
+ * (q < 2^60).  The Modulus class packages a modulus together with the
+ * precomputation needed for fast reduction:
+ *   - generic multiplication via 128-bit products,
+ *   - Shoup multiplication for multiply-by-known-constant (the hot path of
+ *     NTT butterflies, matching the optimized modular multipliers the paper's
+ *     hardware uses).
+ */
+
+#ifndef UFC_MATH_MOD_ARITH_H
+#define UFC_MATH_MOD_ARITH_H
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace ufc {
+
+/** Modular addition; a and b must already be in [0, q). */
+inline u64
+addMod(u64 a, u64 b, u64 q)
+{
+    u64 s = a + b;
+    return s >= q ? s - q : s;
+}
+
+/** Modular subtraction; a and b must already be in [0, q). */
+inline u64
+subMod(u64 a, u64 b, u64 q)
+{
+    return a >= b ? a - b : a + q - b;
+}
+
+/** Modular negation; a must be in [0, q). */
+inline u64
+negMod(u64 a, u64 q)
+{
+    return a == 0 ? 0 : q - a;
+}
+
+/** Full modular multiplication through a 128-bit product. */
+inline u64
+mulMod(u64 a, u64 b, u64 q)
+{
+    return static_cast<u64>((static_cast<u128>(a) * b) % q);
+}
+
+/** Modular exponentiation by squaring. */
+inline u64
+powMod(u64 base, u64 exp, u64 q)
+{
+    u64 result = 1 % q;
+    u64 acc = base % q;
+    while (exp) {
+        if (exp & 1)
+            result = mulMod(result, acc, q);
+        acc = mulMod(acc, acc, q);
+        exp >>= 1;
+    }
+    return result;
+}
+
+/**
+ * Modular inverse via the extended Euclidean algorithm.
+ * Panics if gcd(a, q) != 1.
+ */
+inline u64
+invMod(u64 a, u64 q)
+{
+    i64 t = 0, newT = 1;
+    i64 r = static_cast<i64>(q), newR = static_cast<i64>(a % q);
+    while (newR != 0) {
+        i64 quot = r / newR;
+        i64 tmp = t - quot * newT;
+        t = newT;
+        newT = tmp;
+        tmp = r - quot * newR;
+        r = newR;
+        newR = tmp;
+    }
+    UFC_CHECK(r == 1, "invMod: value " << a << " not invertible mod " << q);
+    if (t < 0)
+        t += static_cast<i64>(q);
+    return static_cast<u64>(t);
+}
+
+/**
+ * A word-size modulus with reduction precomputation.
+ *
+ * Supports moduli up to 2^60 - 1.  Shoup multiplication multiplies by a
+ * constant w given the precomputed w' = floor(w * 2^64 / q); the result is
+ * exact for operands in [0, q).
+ */
+class Modulus
+{
+  public:
+    Modulus() = default;
+
+    explicit Modulus(u64 q) : q_(q)
+    {
+        UFC_CHECK(q >= 2 && q < (1ULL << 60), "modulus out of range: " << q);
+        // floor(2^128 / q) as two 64-bit words, for Barrett reduction of
+        // 128-bit values.
+        u128 numer = ~static_cast<u128>(0);
+        u128 ratio = numer / q_;
+        ratioHi_ = static_cast<u64>(ratio >> 64);
+        ratioLo_ = static_cast<u64>(ratio);
+    }
+
+    u64 value() const { return q_; }
+    explicit operator u64() const { return q_; }
+
+    u64 add(u64 a, u64 b) const { return addMod(a, b, q_); }
+    u64 sub(u64 a, u64 b) const { return subMod(a, b, q_); }
+    u64 neg(u64 a) const { return negMod(a, q_); }
+    u64 mul(u64 a, u64 b) const { return reduce(static_cast<u128>(a) * b); }
+    u64 pow(u64 b, u64 e) const { return powMod(b, e, q_); }
+    u64 inv(u64 a) const { return invMod(a, q_); }
+
+    /** Reduce an arbitrary 64-bit value into [0, q). */
+    u64 reduce(u64 a) const { return a % q_; }
+
+    /** Barrett reduction of a 128-bit value into [0, q). */
+    u64
+    reduce(u128 x) const
+    {
+        // tmp = floor(x / 2^64) * ratioLo + x * ratioHi, keeping the high
+        // words; standard 128-bit Barrett as in SEAL.
+        u64 xLo = static_cast<u64>(x);
+        u64 xHi = static_cast<u64>(x >> 64);
+
+        u128 t1 = static_cast<u128>(xLo) * ratioLo_;
+        u128 t2 = static_cast<u128>(xLo) * ratioHi_;
+        u128 t3 = static_cast<u128>(xHi) * ratioLo_;
+        u128 t4 = static_cast<u128>(xHi) * ratioHi_;
+
+        u128 mid = t2 + t3 + (t1 >> 64);
+        u64 quot = static_cast<u64>(t4 + (mid >> 64));
+
+        u64 r = xLo - quot * q_;
+        // One conditional correction suffices for q < 2^60.
+        while (r >= q_)
+            r -= q_;
+        return r;
+    }
+
+    /** Precompute the Shoup constant for multiply-by-w. */
+    u64
+    shoupPrecompute(u64 w) const
+    {
+        return static_cast<u64>((static_cast<u128>(w) << 64) / q_);
+    }
+
+    /** Multiply a by constant w using its Shoup precomputation wShoup. */
+    u64
+    mulShoup(u64 a, u64 w, u64 wShoup) const
+    {
+        u64 approx = static_cast<u64>(
+            (static_cast<u128>(a) * wShoup) >> 64);
+        u64 r = a * w - approx * q_;
+        return r >= q_ ? r - q_ : r;
+    }
+
+  private:
+    u64 q_ = 0;
+    u64 ratioHi_ = 0;
+    u64 ratioLo_ = 0;
+};
+
+} // namespace ufc
+
+#endif // UFC_MATH_MOD_ARITH_H

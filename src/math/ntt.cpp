@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Iterative negacyclic NTT implementation.
+ */
+
+#include "math/ntt.h"
+
+#include <bit>
+
+#include "common/check.h"
+#include "math/primes.h"
+
+namespace ufc {
+
+NttTable::NttTable(u64 n, u64 q, u64 psi)
+    : n_(n), mod_(q)
+{
+    UFC_CHECK(n >= 2 && std::has_single_bit(n), "NTT degree must be 2^k");
+    UFC_CHECK((q - 1) % (2 * n) == 0,
+              "q=" << q << " is not NTT-friendly for n=" << n);
+    logN_ = std::countr_zero(n);
+
+    psi_ = psi ? psi : findPrimitiveRoot(2 * n, q);
+    UFC_CHECK(powMod(psi_, n, q) == q - 1, "psi^N must equal -1 mod q");
+    const u64 psiInv = invMod(psi_, q);
+
+    fwdTw_.resize(n);
+    fwdTwShoup_.resize(n);
+    invTw_.resize(n);
+    invTwShoup_.resize(n);
+    for (u64 i = 0; i < n; ++i) {
+        const u64 rev = bitReverse(static_cast<u32>(i), logN_);
+        fwdTw_[i] = powMod(psi_, rev, q);
+        fwdTwShoup_[i] = mod_.shoupPrecompute(fwdTw_[i]);
+        invTw_[i] = powMod(psiInv, rev, q);
+        invTwShoup_[i] = mod_.shoupPrecompute(invTw_[i]);
+    }
+    nInv_ = invMod(n % q, q);
+    nInvShoup_ = mod_.shoupPrecompute(nInv_);
+}
+
+void
+NttTable::forward(u64 *a) const
+{
+    const u64 q = mod_.value();
+    // Cooley-Tukey, natural order in, bit-reversed order out.
+    u64 t = n_;
+    for (u64 m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (u64 i = 0; i < m; ++i) {
+            const u64 j1 = 2 * i * t;
+            const u64 w = fwdTw_[m + i];
+            const u64 wShoup = fwdTwShoup_[m + i];
+            for (u64 j = j1; j < j1 + t; ++j) {
+                const u64 u = a[j];
+                const u64 v = mod_.mulShoup(a[j + t], w, wShoup);
+                a[j] = addMod(u, v, q);
+                a[j + t] = subMod(u, v, q);
+            }
+        }
+    }
+    // Restore natural order.
+    for (u64 i = 0; i < n_; ++i) {
+        const u64 r = bitReverse(static_cast<u32>(i), logN_);
+        if (r > i)
+            std::swap(a[i], a[r]);
+    }
+}
+
+void
+NttTable::inverse(u64 *a) const
+{
+    const u64 q = mod_.value();
+    // To bit-reversed order, then Gentleman-Sande back to natural order.
+    for (u64 i = 0; i < n_; ++i) {
+        const u64 r = bitReverse(static_cast<u32>(i), logN_);
+        if (r > i)
+            std::swap(a[i], a[r]);
+    }
+    u64 t = 1;
+    for (u64 m = n_; m > 1; m >>= 1) {
+        const u64 h = m >> 1;
+        u64 j1 = 0;
+        for (u64 i = 0; i < h; ++i) {
+            const u64 w = invTw_[h + i];
+            const u64 wShoup = invTwShoup_[h + i];
+            for (u64 j = j1; j < j1 + t; ++j) {
+                const u64 u = a[j];
+                const u64 v = a[j + t];
+                a[j] = addMod(u, v, q);
+                a[j + t] = mod_.mulShoup(subMod(u, v, q), w, wShoup);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (u64 i = 0; i < n_; ++i)
+        a[i] = mod_.mulShoup(a[i], nInv_, nInvShoup_);
+}
+
+std::vector<u64>
+NttTable::negacyclicMulSchoolbook(const std::vector<u64> &a,
+                                  const std::vector<u64> &b) const
+{
+    const u64 q = mod_.value();
+    std::vector<u64> c(n_, 0);
+    for (u64 i = 0; i < n_; ++i) {
+        if (a[i] == 0)
+            continue;
+        for (u64 j = 0; j < n_; ++j) {
+            const u64 p = mulMod(a[i], b[j], q);
+            const u64 k = i + j;
+            if (k < n_)
+                c[k] = addMod(c[k], p, q);
+            else
+                c[k - n_] = subMod(c[k - n_], p, q);
+        }
+    }
+    return c;
+}
+
+} // namespace ufc

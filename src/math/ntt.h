@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Negacyclic number-theoretic transform over Z_q[X]/(X^N + 1).
+ *
+ * NttTable implements the classical iterative algorithm (Cooley-Tukey DIT
+ * forward, Gentleman-Sande DIF inverse, merged psi powers, Shoup constant
+ * multiplication).  The public convention is that both coefficient and
+ * evaluation forms are stored in natural index order; bit reversal is
+ * handled internally.
+ *
+ * The constant-geometry variant used by the UFC hardware lives in
+ * math/cg_ntt.h and is tested for equivalence against this implementation.
+ */
+
+#ifndef UFC_MATH_NTT_H
+#define UFC_MATH_NTT_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "math/mod_arith.h"
+
+namespace ufc {
+
+/** Bit-reverse the low `bits` bits of x. */
+inline u32
+bitReverse(u32 x, int bits)
+{
+    u32 r = 0;
+    for (int i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+/**
+ * Precomputed tables for the negacyclic NTT of a fixed (N, q) pair.
+ *
+ * q must be prime with q ≡ 1 (mod 2N).  The forward transform maps the
+ * coefficient form of a polynomial to its evaluations at odd powers of the
+ * 2N-th root of unity psi; multiplication in the evaluation domain realizes
+ * negacyclic convolution.
+ */
+class NttTable
+{
+  public:
+    /**
+     * Build tables for ring degree n (a power of two) and modulus q.
+     * If psi == 0 a primitive 2n-th root of unity is found automatically;
+     * passing psi explicitly supports the automorphism-via-NTT technique
+     * (Section IV-C2 of the paper), which re-runs the NTT with psi^k.
+     */
+    NttTable(u64 n, u64 q, u64 psi = 0);
+
+    u64 degree() const { return n_; }
+    const Modulus &modulus() const { return mod_; }
+    u64 psi() const { return psi_; }
+
+    /** In-place forward NTT; input and output in natural order. */
+    void forward(u64 *a) const;
+    void forward(std::vector<u64> &a) const { forward(a.data()); }
+
+    /** In-place inverse NTT; input and output in natural order. */
+    void inverse(u64 *a) const;
+    void inverse(std::vector<u64> &a) const { inverse(a.data()); }
+
+    /**
+     * Reference negacyclic convolution in O(N^2); used by tests only.
+     */
+    std::vector<u64> negacyclicMulSchoolbook(const std::vector<u64> &a,
+                                             const std::vector<u64> &b) const;
+
+  private:
+    u64 n_ = 0;
+    int logN_ = 0;
+    Modulus mod_;
+    u64 psi_ = 0;
+
+    // Twiddles in the bit-reversed order the iterative algorithms consume.
+    std::vector<u64> fwdTw_, fwdTwShoup_;
+    std::vector<u64> invTw_, invTwShoup_;
+    u64 nInv_ = 0, nInvShoup_ = 0;
+};
+
+} // namespace ufc
+
+#endif // UFC_MATH_NTT_H

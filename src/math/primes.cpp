@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Implementation of prime search and root-of-unity discovery.
+ */
+
+#include "math/primes.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "math/mod_arith.h"
+
+namespace ufc {
+
+namespace {
+
+/** One Miller-Rabin round with witness a. Returns false if composite. */
+bool
+millerRabinRound(u64 n, u64 d, int r, u64 a)
+{
+    a %= n;
+    if (a == 0)
+        return true;
+    u64 x = powMod(a, d, n);
+    if (x == 1 || x == n - 1)
+        return true;
+    for (int i = 0; i < r - 1; ++i) {
+        x = mulMod(x, x, n);
+        if (x == n - 1)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+isPrime(u64 n)
+{
+    if (n < 2)
+        return false;
+    for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                  23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (n == p)
+            return true;
+        if (n % p == 0)
+            return false;
+    }
+    u64 d = n - 1;
+    int r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // Deterministic witness set for all 64-bit integers.
+    for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                  23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (!millerRabinRound(n, d, r, a))
+            return false;
+    }
+    return true;
+}
+
+u64
+findNttPrime(int bits, u64 twoN, int skip)
+{
+    UFC_CHECK(bits >= 20 && bits <= 60, "prime size out of range: " << bits);
+    // Start from the largest candidate below 2^bits congruent to 1 mod 2N.
+    u64 top = (bits == 64) ? ~0ULL : ((1ULL << bits) - 1);
+    u64 cand = top - ((top - 1) % twoN);
+    int found = 0;
+    while (cand > twoN) {
+        if (isPrime(cand)) {
+            if (found == skip)
+                return cand;
+            ++found;
+        }
+        cand -= twoN;
+    }
+    ufcPanic("findNttPrime: no prime found");
+}
+
+std::vector<u64>
+generateNttPrimes(int bits, u64 twoN, int count)
+{
+    std::vector<u64> primes;
+    primes.reserve(count);
+    for (int i = 0; i < count; ++i)
+        primes.push_back(findNttPrime(bits, twoN, i));
+    return primes;
+}
+
+namespace {
+
+/** Pollard's rho: find a nontrivial factor of composite n. */
+u64
+pollardRho(u64 n)
+{
+    if ((n & 1) == 0)
+        return 2;
+    for (u64 c = 1;; ++c) {
+        u64 x = 2, y = 2, d = 1;
+        while (d == 1) {
+            x = addMod(mulMod(x, x, n), c, n);
+            y = addMod(mulMod(y, y, n), c, n);
+            y = addMod(mulMod(y, y, n), c, n);
+            u64 diff = x > y ? x - y : y - x;
+            if (diff == 0)
+                break;
+            d = std::gcd(diff, n);
+        }
+        if (d != 1 && d != n)
+            return d;
+    }
+}
+
+/** Collect the distinct prime factors of n. */
+void
+factorize(u64 n, std::vector<u64> &factors)
+{
+    if (n == 1)
+        return;
+    if (isPrime(n)) {
+        for (u64 f : factors)
+            if (f == n)
+                return;
+        factors.push_back(n);
+        return;
+    }
+    // Strip small factors first so rho only sees hard composites.
+    for (u64 p = 2; p < 100 && p * p <= n; ++p) {
+        if (n % p == 0) {
+            factorize(p, factors);
+            while (n % p == 0)
+                n /= p;
+            factorize(n, factors);
+            return;
+        }
+    }
+    u64 d = pollardRho(n);
+    factorize(d, factors);
+    factorize(n / d, factors);
+}
+
+} // namespace
+
+u64
+findGenerator(u64 q)
+{
+    u64 phi = q - 1;
+    std::vector<u64> factors;
+    factorize(phi, factors);
+
+    for (u64 g = 2; g < q; ++g) {
+        bool ok = true;
+        for (u64 f : factors) {
+            if (powMod(g, phi / f, q) == 1) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return g;
+    }
+    ufcPanic("findGenerator: no generator found");
+}
+
+u64
+findPrimitiveRoot(u64 n, u64 q)
+{
+    UFC_CHECK((q - 1) % n == 0,
+              "no " << n << "-th root of unity mod " << q);
+    u64 g = findGenerator(q);
+    u64 w = powMod(g, (q - 1) / n, q);
+    UFC_CHECK(powMod(w, n, q) == 1, "root order check failed");
+    UFC_CHECK(n == 1 || powMod(w, n / 2, q) != 1, "root not primitive");
+    return w;
+}
+
+} // namespace ufc

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * NTT-friendly prime generation and roots of unity.
+ *
+ * CKKS RNS limbs and the TFHE prime modulus are all primes of the form
+ * q = k * 2N + 1 so that Z_q contains a primitive 2N-th root of unity and
+ * the negacyclic NTT over Z_q[X]/(X^N + 1) exists.
+ */
+
+#ifndef UFC_MATH_PRIMES_H
+#define UFC_MATH_PRIMES_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace ufc {
+
+/** Deterministic Miller-Rabin primality test for 64-bit integers. */
+bool isPrime(u64 n);
+
+/**
+ * Find the largest prime q < 2^bits with q ≡ 1 (mod 2N), skipping the
+ * first `skip` candidates (so several distinct primes of the same size can
+ * be generated).
+ */
+u64 findNttPrime(int bits, u64 twoN, int skip = 0);
+
+/** Generate `count` distinct NTT-friendly primes of roughly `bits` bits. */
+std::vector<u64> generateNttPrimes(int bits, u64 twoN, int count);
+
+/** Find a generator (primitive root) of Z_q^*. q must be prime. */
+u64 findGenerator(u64 q);
+
+/** Find a primitive n-th root of unity mod prime q; n must divide q - 1. */
+u64 findPrimitiveRoot(u64 n, u64 q);
+
+} // namespace ufc
+
+#endif // UFC_MATH_PRIMES_H

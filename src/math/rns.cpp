@@ -1,0 +1,105 @@
+/**
+ * @file
+ * RNS basis and base-conversion implementation.
+ */
+
+#include "math/rns.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ufc {
+
+RnsBasis::RnsBasis(std::vector<u64> moduli)
+    : values_(std::move(moduli))
+{
+    UFC_CHECK(!values_.empty(), "empty RNS basis");
+    mods_.reserve(values_.size());
+    for (u64 q : values_)
+        mods_.emplace_back(q);
+
+    // qHatInv_i = (prod_{j != i} q_j)^-1 mod q_i
+    qHatInvModQi_.resize(values_.size());
+    for (size_t i = 0; i < values_.size(); ++i) {
+        u64 prod = 1;
+        for (size_t j = 0; j < values_.size(); ++j) {
+            if (j != i)
+                prod = mods_[i].mul(prod, values_[j] % values_[i]);
+        }
+        qHatInvModQi_[i] = invMod(prod, values_[i]);
+    }
+}
+
+u64
+RnsBasis::qHatModP(size_t i, const Modulus &p) const
+{
+    u64 prod = 1;
+    for (size_t j = 0; j < values_.size(); ++j) {
+        if (j != i)
+            prod = p.mul(prod, values_[j] % p.value());
+    }
+    return prod;
+}
+
+u64
+RnsBasis::qModP(const Modulus &p) const
+{
+    u64 prod = 1;
+    for (u64 q : values_)
+        prod = p.mul(prod, q % p.value());
+    return prod;
+}
+
+double
+RnsBasis::logQ() const
+{
+    double acc = 0.0;
+    for (u64 q : values_)
+        acc += std::log2(static_cast<double>(q));
+    return acc;
+}
+
+std::vector<u64>
+baseConvert(const std::vector<u64> &residues, const RnsBasis &from,
+            const RnsBasis &to)
+{
+    UFC_CHECK(residues.size() == from.size(), "residue count mismatch");
+    // y_j = [x_j * qHat_j^-1]_{q_j}
+    std::vector<u64> y(from.size());
+    for (size_t j = 0; j < from.size(); ++j)
+        y[j] = from.mod(j).mul(residues[j], from.qHatInvModQi(j));
+
+    std::vector<u64> out(to.size());
+    for (size_t i = 0; i < to.size(); ++i) {
+        const Modulus &p = to.mod(i);
+        u64 acc = 0;
+        for (size_t j = 0; j < from.size(); ++j)
+            acc = p.add(acc, p.mul(y[j] % p.value(), from.qHatModP(j, p)));
+        out[i] = acc;
+    }
+    return out;
+}
+
+i128
+crtReconstructSigned(const std::vector<u64> &residues, const RnsBasis &basis)
+{
+    UFC_CHECK(residues.size() == basis.size(), "residue count mismatch");
+    UFC_CHECK(basis.logQ() < 126.0, "basis too large for 128-bit CRT");
+    u128 bigQ = 1;
+    for (u64 q : basis.values())
+        bigQ *= q;
+
+    u128 acc = 0;
+    for (size_t j = 0; j < basis.size(); ++j) {
+        const u64 qj = basis.value(j);
+        const u128 qHat = bigQ / qj;
+        const u64 y = basis.mod(j).mul(residues[j], basis.qHatInvModQi(j));
+        acc = (acc + (qHat % bigQ) * y) % bigQ;
+    }
+    if (acc > bigQ / 2)
+        return static_cast<i128>(acc) - static_cast<i128>(bigQ);
+    return static_cast<i128>(acc);
+}
+
+} // namespace ufc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Residue number system (RNS) machinery: bases, exact CRT reconstruction
+ * helpers, and the fast base conversion (BConv) used by CKKS hybrid
+ * key-switching (paper Section II-B3).
+ */
+
+#ifndef UFC_MATH_RNS_H
+#define UFC_MATH_RNS_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "math/mod_arith.h"
+
+namespace ufc {
+
+/**
+ * An RNS basis: a set of pairwise-coprime word-size primes q_0..q_{L-1}
+ * together with the precomputation needed by base conversion.
+ */
+class RnsBasis
+{
+  public:
+    RnsBasis() = default;
+    explicit RnsBasis(std::vector<u64> moduli);
+
+    size_t size() const { return mods_.size(); }
+    const Modulus &mod(size_t i) const { return mods_[i]; }
+    u64 value(size_t i) const { return mods_[i].value(); }
+    const std::vector<u64> &values() const { return values_; }
+
+    /** (Q / q_i)^-1 mod q_i — the qHatInv factors of the BConv formula. */
+    u64 qHatInvModQi(size_t i) const { return qHatInvModQi_[i]; }
+
+    /** Q / q_i reduced mod an arbitrary target modulus p. */
+    u64 qHatModP(size_t i, const Modulus &p) const;
+
+    /** Q mod p for an arbitrary modulus p. */
+    u64 qModP(const Modulus &p) const;
+
+    /** Total log2 of the basis product (for parameter accounting). */
+    double logQ() const;
+
+  private:
+    std::vector<Modulus> mods_;
+    std::vector<u64> values_;
+    std::vector<u64> qHatInvModQi_;
+};
+
+/**
+ * Fast base conversion of a single RNS integer (given as residues w.r.t.
+ * `from`) into residues w.r.t. the moduli of `to`:
+ *
+ *   BConv(x) = sum_j [x_j * qHat_j^-1]_{q_j} * qHat_j  (mod p_i)
+ *
+ * This is the standard approximate conversion (result may be off by a small
+ * multiple of Q, which the CKKS noise analysis absorbs).
+ */
+std::vector<u64> baseConvert(const std::vector<u64> &residues,
+                             const RnsBasis &from, const RnsBasis &to);
+
+/**
+ * Exact CRT reconstruction of a small signed integer from its residues.
+ * Valid when |x| < Q/2 and Q fits in 128 bits; used by tests.
+ */
+i128 crtReconstructSigned(const std::vector<u64> &residues,
+                          const RnsBasis &basis);
+
+} // namespace ufc
+
+#endif // UFC_MATH_RNS_H

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * RNS polynomial implementation.
+ */
+
+#include "poly/rns_poly.h"
+
+#include "common/check.h"
+
+namespace ufc {
+
+const NttTable &
+RingContext::table(u64 q) const
+{
+    auto it = tables_.find(q);
+    if (it == tables_.end()) {
+        it = tables_.emplace(q, std::make_unique<NttTable>(degree_, q))
+                 .first;
+    }
+    return *it->second;
+}
+
+RnsPoly::RnsPoly(const RingContext *ctx, const std::vector<u64> &moduli,
+                 PolyForm form)
+    : ctx_(ctx)
+{
+    limbs_.reserve(moduli.size());
+    for (u64 q : moduli)
+        limbs_.emplace_back(&ctx->table(q), form);
+}
+
+std::vector<u64>
+RnsPoly::moduli() const
+{
+    std::vector<u64> out;
+    out.reserve(limbs_.size());
+    for (const auto &l : limbs_)
+        out.push_back(l.modulus());
+    return out;
+}
+
+void
+RnsPoly::toEval()
+{
+    for (auto &l : limbs_)
+        l.toEval();
+}
+
+void
+RnsPoly::toCoeff()
+{
+    for (auto &l : limbs_)
+        l.toCoeff();
+}
+
+void
+RnsPoly::addInPlace(const RnsPoly &other)
+{
+    UFC_CHECK(limbs_.size() == other.limbs_.size(), "limb count mismatch");
+    for (size_t i = 0; i < limbs_.size(); ++i)
+        limbs_[i].addInPlace(other.limbs_[i]);
+}
+
+void
+RnsPoly::subInPlace(const RnsPoly &other)
+{
+    UFC_CHECK(limbs_.size() == other.limbs_.size(), "limb count mismatch");
+    for (size_t i = 0; i < limbs_.size(); ++i)
+        limbs_[i].subInPlace(other.limbs_[i]);
+}
+
+void
+RnsPoly::negInPlace()
+{
+    for (auto &l : limbs_)
+        l.negInPlace();
+}
+
+void
+RnsPoly::scaleInPlace(const std::vector<u64> &scalars)
+{
+    UFC_CHECK(scalars.size() == limbs_.size(), "scalar count mismatch");
+    for (size_t i = 0; i < limbs_.size(); ++i)
+        limbs_[i].scaleInPlace(scalars[i]);
+}
+
+void
+RnsPoly::scaleInPlace(u64 scalar)
+{
+    for (auto &l : limbs_)
+        l.scaleInPlace(scalar);
+}
+
+void
+RnsPoly::mulEvalInPlace(const RnsPoly &other)
+{
+    UFC_CHECK(limbs_.size() == other.limbs_.size(), "limb count mismatch");
+    for (size_t i = 0; i < limbs_.size(); ++i)
+        limbs_[i].mulEvalInPlace(other.limbs_[i]);
+}
+
+void
+RnsPoly::fmaEval(const RnsPoly &a, const RnsPoly &b)
+{
+    UFC_CHECK(limbs_.size() == a.limbs_.size() &&
+              limbs_.size() == b.limbs_.size(), "limb count mismatch");
+    for (size_t i = 0; i < limbs_.size(); ++i)
+        limbs_[i].fmaEval(a.limbs_[i], b.limbs_[i]);
+}
+
+RnsPoly
+RnsPoly::automorphism(u64 k) const
+{
+    RnsPoly out;
+    out.ctx_ = ctx_;
+    out.limbs_.reserve(limbs_.size());
+    for (const auto &l : limbs_)
+        out.limbs_.push_back(l.automorphism(k));
+    return out;
+}
+
+void
+RnsPoly::dropLastLimb()
+{
+    UFC_CHECK(!limbs_.empty(), "no limb to drop");
+    limbs_.pop_back();
+}
+
+void
+RnsPoly::extendBasis(const std::vector<u64> &newModuli)
+{
+    UFC_CHECK(form() == PolyForm::Coeff, "extendBasis requires Coeff form");
+    const u64 n = degree();
+    RnsBasis from(moduli());
+    RnsBasis to(newModuli);
+
+    std::vector<Poly> extra;
+    extra.reserve(newModuli.size());
+    for (u64 q : newModuli)
+        extra.emplace_back(&ctx_->table(q), PolyForm::Coeff);
+
+    std::vector<u64> residues(limbs_.size());
+    for (u64 c = 0; c < n; ++c) {
+        for (size_t j = 0; j < limbs_.size(); ++j)
+            residues[j] = limbs_[j][c];
+        const std::vector<u64> conv = baseConvert(residues, from, to);
+        for (size_t i = 0; i < extra.size(); ++i)
+            extra[i][c] = conv[i];
+    }
+    for (auto &p : extra)
+        limbs_.push_back(std::move(p));
+}
+
+void
+RnsPoly::sampleUniform(Rng &rng)
+{
+    // Independent uniform residues per limb give a uniform element of R_Q.
+    for (auto &l : limbs_)
+        l.sampleUniform(rng);
+}
+
+void
+RnsPoly::sampleTernary(Rng &rng)
+{
+    // One ternary draw per coefficient, reduced into every limb, so all
+    // limbs represent the same ring element.
+    UFC_CHECK(form() == PolyForm::Coeff, "sampling requires Coeff form");
+    const u64 n = degree();
+    for (u64 c = 0; c < n; ++c) {
+        const u64 t = rng.next() % 3; // 0, 1, 2 -> 0, 1, -1
+        for (auto &l : limbs_) {
+            const u64 q = l.modulus();
+            l[c] = (t == 0) ? 0 : (t == 1 ? 1 : q - 1);
+        }
+    }
+}
+
+void
+RnsPoly::sampleGaussian(Rng &rng, double sigma)
+{
+    UFC_CHECK(form() == PolyForm::Coeff, "sampling requires Coeff form");
+    const u64 n = degree();
+    for (u64 c = 0; c < n; ++c) {
+        const i64 e = static_cast<i64>(std::llround(rng.gaussian(sigma)));
+        for (auto &l : limbs_) {
+            const i64 q = static_cast<i64>(l.modulus());
+            i64 r = e % q;
+            if (r < 0)
+                r += q;
+            l[c] = static_cast<u64>(r);
+        }
+    }
+}
+
+} // namespace ufc

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Accelerator model implementations.
+ */
+
+#include "sim/accelerator.h"
+
+#include "common/check.h"
+
+namespace ufc {
+namespace sim {
+
+namespace {
+
+/** Run one trace through a lowering + engine pair. */
+RunStats
+lowerAndRun(const trace::Trace &tr, const compiler::LoweringOptions &opts,
+            const MachinePerf &perf)
+{
+    CycleEngine engine(&perf);
+    compiler::Lowering lowering(&tr, opts, &engine);
+    lowering.run();
+    return engine.finish();
+}
+
+} // namespace
+
+UfcModel::UfcModel(const UfcConfig &cfg, compiler::Parallelism par)
+    : cfg_(cfg), parallelism_(par)
+{}
+
+compiler::LoweringOptions
+UfcModel::loweringOptions() const
+{
+    compiler::LoweringOptions opts;
+    opts.wordBits = cfg_.wordBits;
+    opts.totalButterflies = cfg_.totalButterflies();
+    opts.totalVectorLanes = cfg_.totalLanes();
+    opts.autoViaNtt = true;
+    opts.rotateAsMonomialMul = true;
+    opts.smallPolyPacking = cfg_.smallPolyPacking;
+    opts.parallelism = parallelism_;
+    opts.onTheFlyKeyGen = cfg_.onTheFlyKeyGen;
+    return opts;
+}
+
+double
+UfcModel::areaMm2() const
+{
+    return UfcCostModel(cfg_).areaMm2();
+}
+
+RunResult
+UfcModel::run(const trace::Trace &tr) const
+{
+    UfcPerf perf(cfg_);
+    const RunStats stats = lowerAndRun(tr, loweringOptions(), perf);
+
+    UfcCostModel cost(cfg_);
+    RunResult r;
+    r.machine = name();
+    r.workload = tr.name;
+    r.stats = stats;
+    r.seconds = cost.seconds(stats);
+    r.powerW = cost.averagePowerW(stats);
+    r.energyJ = cost.energyJ(stats);
+    r.areaMm2 = cost.areaMm2();
+    return r;
+}
+
+SharpModel::SharpModel(const baselines::SharpConfig &cfg) : cfg_(cfg) {}
+
+RunResult
+SharpModel::run(const trace::Trace &tr) const
+{
+    for (const auto &op : tr.ops) {
+        // Ring-side scheme-switching ops (extract/repack) are CKKS-style
+        // polynomial work; only logic-scheme ops are unsupported.
+        UFC_CHECK(op.scheme() != trace::Scheme::Tfhe,
+                  "SHARP only supports SIMD-scheme (CKKS) operations");
+    }
+    baselines::SharpPerf perf(cfg_);
+    compiler::LoweringOptions opts;
+    opts.wordBits = cfg_.wordBits;
+    opts.totalButterflies = 1024; // pipelined NTTU width
+    opts.totalVectorLanes = 2048;
+    opts.autoViaNtt = false;       // all-to-all NoC automorphism
+    opts.rotateAsMonomialMul = false;
+    opts.smallPolyPacking = false;
+    opts.onTheFlyKeyGen = true;    // SHARP also generates keys on die
+    const RunStats stats = lowerAndRun(tr, opts, perf);
+
+    BaselineCost cost{cfg_.areaMm2, cfg_.staticW, cfg_.peakDynamicW,
+                      30.0, cfg_.freqGHz};
+    RunResult r;
+    r.machine = name();
+    r.workload = tr.name;
+    r.stats = stats;
+    r.seconds = cost.seconds(stats);
+    r.powerW = cost.averagePowerW(stats);
+    r.energyJ = cost.energyJ(stats);
+    r.areaMm2 = cfg_.areaMm2;
+    return r;
+}
+
+StrixModel::StrixModel(const baselines::StrixConfig &cfg) : cfg_(cfg) {}
+
+RunResult
+StrixModel::run(const trace::Trace &tr) const
+{
+    for (const auto &op : tr.ops) {
+        UFC_CHECK(op.scheme() == trace::Scheme::Tfhe,
+                  "Strix only supports logic-scheme (TFHE) operations");
+    }
+    baselines::StrixPerf perf(cfg_);
+    compiler::LoweringOptions opts;
+    opts.wordBits = cfg_.wordBits;
+    opts.totalButterflies = cfg_.butterflies;
+    opts.totalVectorLanes = static_cast<int>(cfg_.macWordsPerCycle);
+    opts.autoViaNtt = false;
+    opts.rotateAsMonomialMul = false;
+    // Strix batches bootstraps through its streaming pipeline; modeled as
+    // packing over its (narrower) datapath.
+    opts.smallPolyPacking = true;
+    opts.parallelism = compiler::Parallelism::TvLP;
+    opts.onTheFlyKeyGen = false;
+    const RunStats stats = lowerAndRun(tr, opts, perf);
+
+    BaselineCost cost{cfg_.areaMm2, cfg_.staticW, cfg_.peakDynamicW,
+                      30.0, cfg_.freqGHz};
+    RunResult r;
+    r.machine = name();
+    r.workload = tr.name;
+    r.stats = stats;
+    r.seconds = cost.seconds(stats);
+    r.powerW = cost.averagePowerW(stats);
+    r.energyJ = cost.energyJ(stats);
+    r.areaMm2 = cfg_.areaMm2;
+    return r;
+}
+
+ComposedModel::ComposedModel(const baselines::SharpConfig &sharp,
+                             const baselines::StrixConfig &strix,
+                             double pcieGBs, double pcieLatencyUs)
+    : sharp_(sharp), strix_(strix), pcieGBs_(pcieGBs),
+      pcieLatencyUs_(pcieLatencyUs)
+{}
+
+RunResult
+ComposedModel::run(const trace::Trace &tr) const
+{
+    // Partition the trace by scheme.  Scheme-switching ops run on the
+    // SIMD chip (extraction/repacking are ring operations) but their LWE
+    // payloads cross PCIe to reach the logic chip.
+    trace::Trace ckksPart = tr;
+    ckksPart.ops.clear();
+    trace::Trace tfhePart = tr;
+    tfhePart.ops.clear();
+
+    double pcieBytes = 0.0;
+    u64 pcieTransfers = 0;
+    for (const auto &op : tr.ops) {
+        switch (op.scheme()) {
+          case trace::Scheme::Ckks:
+            ckksPart.ops.push_back(op);
+            break;
+          case trace::Scheme::Tfhe:
+            tfhePart.ops.push_back(op);
+            break;
+          case trace::Scheme::Switch: {
+            // Ring-side work stays on SHARP as CKKS-equivalent ops; the
+            // resulting LWE vectors cross the link.
+            if (op.kind == trace::OpKind::SwitchExtract) {
+                // Extraction itself is cheap; LWEs move to the TFHE chip.
+                pcieBytes += static_cast<double>(op.count) *
+                             (tr.tfheLweDim + 1) * 4.0;
+                ++pcieTransfers;
+                // The parameter-normalizing key switch runs on Strix.
+                tfhePart.push(trace::OpKind::TfheKeySwitch, 0, op.count);
+            } else { // SwitchRepack
+                pcieBytes += static_cast<double>(op.count) *
+                             (tr.tfheLweDim + 1) * 4.0;
+                ++pcieTransfers;
+                ckksPart.ops.push_back(op);
+            }
+            break;
+          }
+        }
+    }
+
+    RunResult sharpRes;
+    if (!ckksPart.ops.empty())
+        sharpRes = SharpModel(sharp_).run(ckksPart);
+    RunResult strixRes;
+    if (!tfhePart.ops.empty())
+        strixRes = StrixModel(strix_).run(tfhePart);
+
+    const double pcieSeconds =
+        pcieBytes / (pcieGBs_ * 1e9) + pcieTransfers * pcieLatencyUs_ * 1e-6;
+
+    RunResult r;
+    r.machine = name();
+    r.workload = tr.name;
+    r.stats = sharpRes.stats;
+    r.stats.merge(strixRes.stats);
+    // The two chips pipeline independent queries/batches, so steady-state
+    // time is the slower side plus the link time; energy still sums.
+    r.seconds = std::max(sharpRes.seconds, strixRes.seconds) + pcieSeconds;
+    r.energyJ = sharpRes.energyJ + strixRes.energyJ +
+                pcieBytes * 10.0e-12; // ~10 pJ/byte link energy
+    // Idle chip burns static power while the other one works.
+    r.energyJ += sharp_.staticW * strixRes.seconds;
+    r.energyJ += strix_.staticW * sharpRes.seconds;
+    r.areaMm2 = areaMm2();
+    r.powerW = r.seconds > 0 ? r.energyJ / r.seconds : 0.0;
+    return r;
+}
+
+} // namespace sim
+} // namespace ufc

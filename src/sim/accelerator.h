@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Accelerator models: the top-level objects that take a workload trace,
+ * lower it with their compiler options, run the cycle engine, and attach
+ * physical units (seconds, joules, mm^2).
+ */
+
+#ifndef UFC_SIM_ACCELERATOR_H
+#define UFC_SIM_ACCELERATOR_H
+
+#include <memory>
+
+#include "baselines/sharp_perf.h"
+#include "baselines/strix_perf.h"
+#include "compiler/lowering.h"
+#include "sim/cost_model.h"
+#include "sim/ufc_perf.h"
+
+namespace ufc {
+namespace sim {
+
+/** Common interface for all simulated accelerators. */
+class AcceleratorModel
+{
+  public:
+    virtual ~AcceleratorModel() = default;
+    virtual RunResult run(const trace::Trace &tr) const = 0;
+    virtual std::string name() const = 0;
+    virtual double areaMm2() const = 0;
+};
+
+/** The proposed unified accelerator. */
+class UfcModel : public AcceleratorModel
+{
+  public:
+    explicit UfcModel(const UfcConfig &cfg = UfcConfig::tableII(),
+                      compiler::Parallelism par =
+                          compiler::Parallelism::TvLP);
+
+    RunResult run(const trace::Trace &tr) const override;
+    std::string name() const override { return cfg_.name; }
+    double areaMm2() const override;
+
+    const UfcConfig &config() const { return cfg_; }
+    compiler::LoweringOptions loweringOptions() const;
+
+  private:
+    UfcConfig cfg_;
+    compiler::Parallelism parallelism_;
+};
+
+/** SHARP baseline (CKKS-only). */
+class SharpModel : public AcceleratorModel
+{
+  public:
+    explicit SharpModel(
+        const baselines::SharpConfig &cfg = baselines::SharpConfig{});
+
+    RunResult run(const trace::Trace &tr) const override;
+    std::string name() const override { return "SHARP"; }
+    double areaMm2() const override { return cfg_.areaMm2; }
+
+  private:
+    baselines::SharpConfig cfg_;
+};
+
+/** Strix baseline (TFHE-only). */
+class StrixModel : public AcceleratorModel
+{
+  public:
+    explicit StrixModel(
+        const baselines::StrixConfig &cfg = baselines::StrixConfig{});
+
+    RunResult run(const trace::Trace &tr) const override;
+    std::string name() const override { return "Strix"; }
+    double areaMm2() const override { return cfg_.areaMm2; }
+
+  private:
+    baselines::StrixConfig cfg_;
+};
+
+/**
+ * The composed SHARP + Strix system used as the hybrid-workload baseline
+ * (Section VI-D): CKKS ops dispatch to SHARP, TFHE ops to Strix, and
+ * scheme-switching data crosses a PCIe 5.0 x16 link.
+ */
+class ComposedModel : public AcceleratorModel
+{
+  public:
+    ComposedModel(const baselines::SharpConfig &sharp =
+                      baselines::SharpConfig{},
+                  const baselines::StrixConfig &strix =
+                      baselines::StrixConfig{},
+                  double pcieGBs = 63.0, double pcieLatencyUs = 2.0);
+
+    RunResult run(const trace::Trace &tr) const override;
+    std::string name() const override { return "SHARP+Strix"; }
+    double areaMm2() const override
+    {
+        return sharp_.areaMm2 + strix_.areaMm2;
+    }
+
+  private:
+    baselines::SharpConfig sharp_;
+    baselines::StrixConfig strix_;
+    double pcieGBs_;
+    double pcieLatencyUs_;
+};
+
+} // namespace sim
+} // namespace ufc
+
+#endif // UFC_SIM_ACCELERATOR_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * UFC architecture configuration (paper Table II) and DSE knobs.
+ */
+
+#ifndef UFC_SIM_CONFIG_H
+#define UFC_SIM_CONFIG_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace ufc {
+namespace sim {
+
+/**
+ * Architectural parameters of one UFC instance.  Defaults reproduce
+ * Table II; the design-space-exploration benchmarks vary lanesPerPe,
+ * scratchpadMb and cgNetworks (Figures 13/14).
+ */
+struct UfcConfig
+{
+    std::string name = "UFC";
+
+    // Compute cluster.
+    int peRows = 8;
+    int peCols = 8;
+    int butterfliesPerPe = 128; ///< butterfly ALUs per PE
+    int lanesPerPe = 256;       ///< modular mul/add lanes per PE
+
+    // Memory hierarchy.
+    double scratchpadMb = 256.0; ///< total on-chip scratchpad
+    double registerFileKb = 288.0; ///< per-PE register file (72x4x1KB)
+    double hbmGBs = 1024.0;      ///< off-chip bandwidth (1 TB/s)
+    double lweSpadKb = 32.0;
+
+    // Interconnect.
+    int cgNetworks = 1;          ///< number of separate CG-NTT networks
+    int globalNocWordsPerCycle = 32768; ///< 2048 x 4B x 16
+    int crossbarPorts = 32;      ///< HBM-channel crossbar (32x32x2)
+
+    // Clocking and word size.
+    double freqGHz = 1.0;
+    int wordBits = 32;
+
+    // Optimizations (Section IV-B5 / V).
+    bool onTheFlyKeyGen = true;  ///< halve key traffic, add keygen work
+    bool smallPolyPacking = true;///< Section V-A packing
+
+    int pes() const { return peRows * peCols; }
+    int totalButterflies() const { return pes() * butterfliesPerPe; }
+    int totalLanes() const { return pes() * lanesPerPe; }
+
+    /** Machine words needed per coefficient of a limbBits-wide limb. */
+    int
+    wordsPerCoeff(int limbBits) const
+    {
+        return (limbBits + wordBits - 1) / wordBits;
+    }
+
+    /** Bytes per coefficient in memory. */
+    double
+    bytesPerCoeff(int limbBits) const
+    {
+        return wordsPerCoeff(limbBits) * (wordBits / 8.0);
+    }
+
+    /** Table II configuration. */
+    static UfcConfig tableII() { return UfcConfig{}; }
+};
+
+} // namespace sim
+} // namespace ufc
+
+#endif // UFC_SIM_CONFIG_H

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cost model implementation.
+ */
+
+#include "sim/cost_model.h"
+
+#include <cmath>
+
+namespace ufc {
+namespace sim {
+
+std::vector<AreaItem>
+UfcCostModel::areaBreakdown() const
+{
+    std::vector<AreaItem> items;
+    const double butterflies = cfg_.totalButterflies();
+    const double lanes = cfg_.totalLanes();
+
+    items.push_back({"Butterfly ALUs", butterflies * kButterflyMm2});
+    items.push_back({"Mod mul/add lanes", lanes * kLaneMm2});
+    items.push_back({"Register files",
+                     cfg_.pes() * cfg_.registerFileKb * kRegFileMm2PerKb});
+    items.push_back({"Scratchpad", cfg_.scratchpadMb * kSpadMm2PerMb});
+    // CG network wiring scales with lanes and the span of each network;
+    // splitting into G networks shortens spans slightly.
+    const double span = std::log2(
+        std::max(2.0, lanes / cfg_.cgNetworks));
+    items.push_back({"Interconnect (CG + crossbar)",
+                     lanes * kNocMm2PerLane * (span / 14.0)});
+    items.push_back({"HBM PHYs", 2 * kHbmPhyMm2});
+    items.push_back({"LWEU + dispatch", kLweuMm2});
+    return items;
+}
+
+double
+UfcCostModel::areaMm2() const
+{
+    double total = 0.0;
+    for (const auto &item : areaBreakdown())
+        total += item.mm2;
+    return total;
+}
+
+double
+UfcCostModel::averagePowerW(const RunStats &stats) const
+{
+    const double bfUtil = stats.utilization(isa::Resource::Butterfly);
+    const double aluUtil = stats.utilization(isa::Resource::VectorAlu);
+    const double nocUtil = stats.utilization(isa::Resource::Noc);
+    const double lweuUtil = stats.utilization(isa::Resource::Lweu);
+    const double computeUtil = 0.5 * (bfUtil + aluUtil);
+
+    double power = kStaticW;
+    power += cfg_.totalButterflies() * kButterflyPw * bfUtil;
+    power += cfg_.totalLanes() * kLanePw * aluUtil;
+    power += kNocPw * nocUtil * (cfg_.totalLanes() / 16384.0);
+    power += kLweuPw * lweuUtil;
+    // Scratchpad banks activate with the datapath.
+    power += cfg_.scratchpadMb * kSpadPwPerMb * (0.3 + 0.7 * computeUtil);
+    // HBM energy folded into average power via traffic.
+    if (stats.totalCycles > 0) {
+        const double bytesPerSec = stats.hbmBytes /
+                                   seconds(stats);
+        power += bytesPerSec * kHbmPjPerByte * 1e-12;
+    }
+    return power;
+}
+
+double
+UfcCostModel::seconds(const RunStats &stats) const
+{
+    return stats.totalCycles / (cfg_.freqGHz * 1e9);
+}
+
+double
+UfcCostModel::energyJ(const RunStats &stats) const
+{
+    return averagePowerW(stats) * seconds(stats);
+}
+
+double
+BaselineCost::averagePowerW(const RunStats &stats) const
+{
+    const double bfUtil = stats.utilization(isa::Resource::Butterfly);
+    const double aluUtil = stats.utilization(isa::Resource::VectorAlu);
+    const double nocUtil = stats.utilization(isa::Resource::Noc);
+    const double util =
+        0.45 * bfUtil + 0.35 * aluUtil + 0.20 * nocUtil;
+
+    double power = staticW + peakDynamicW * util;
+    if (stats.totalCycles > 0) {
+        const double bytesPerSec = stats.hbmBytes / seconds(stats);
+        power += bytesPerSec * hbmPjPerByte * 1e-12;
+    }
+    return power;
+}
+
+double
+BaselineCost::seconds(const RunStats &stats) const
+{
+    return stats.totalCycles / (freqGHz * 1e9);
+}
+
+double
+BaselineCost::energyJ(const RunStats &stats) const
+{
+    return averagePowerW(stats) * seconds(stats);
+}
+
+} // namespace sim
+} // namespace ufc

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Area, power and energy models.
+ *
+ * The paper synthesizes the UFC components on a commercial node and scales
+ * results to 7 nm (Section VI-A); this reproduction uses an analytical
+ * component model with per-unit constants calibrated so that the Table II
+ * configuration lands on the published totals (197.7 mm^2 / 76.9 W at
+ * 1 GHz).  Because the model is per-component, the design-space
+ * explorations (lane count, scratchpad size, CG-network count) move area
+ * and power the way the paper's Figures 13/14 require.
+ */
+
+#ifndef UFC_SIM_COST_MODEL_H
+#define UFC_SIM_COST_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace ufc {
+namespace sim {
+
+/** One row of the Figure 9 style area breakdown. */
+struct AreaItem
+{
+    std::string component;
+    double mm2 = 0.0;
+};
+
+/** Analytical area/power model for a UFC configuration. */
+class UfcCostModel
+{
+  public:
+    explicit UfcCostModel(const UfcConfig &cfg) : cfg_(cfg) {}
+
+    /** Component-level area breakdown (Figure 9). */
+    std::vector<AreaItem> areaBreakdown() const;
+    /** Total chip area in mm^2. */
+    double areaMm2() const;
+
+    /** Average power given a run's resource utilizations. */
+    double averagePowerW(const RunStats &stats) const;
+    /** Energy for a finished run. */
+    double energyJ(const RunStats &stats) const;
+    /** Wall-clock seconds for a finished run. */
+    double seconds(const RunStats &stats) const;
+
+  private:
+    UfcConfig cfg_;
+
+    // 7 nm component constants (calibrated, see file comment).
+    static constexpr double kButterflyMm2 = 0.00155;
+    static constexpr double kLaneMm2 = 0.00052;
+    static constexpr double kRegFileMm2PerKb = 0.0022;
+    static constexpr double kSpadMm2PerMb = 0.245;
+    static constexpr double kNocMm2PerLane = 0.0026;
+    static constexpr double kHbmPhyMm2 = 14.9;
+    static constexpr double kLweuMm2 = 0.9;
+
+    static constexpr double kStaticW = 13.0;
+    static constexpr double kButterflyPw = 2.8e-3; // W per busy unit
+    static constexpr double kLanePw = 1.0e-3;
+    static constexpr double kNocPw = 6.5;          // W at full activity
+    static constexpr double kLweuPw = 0.8;
+    static constexpr double kSpadPwPerMb = 0.024;  // active banks
+    static constexpr double kHbmPjPerByte = 30.0;
+};
+
+/**
+ * Simple calibrated cost models for the baselines: published area and a
+ * static + utilization-scaled dynamic power (both scaled to 7 nm with the
+ * methodology the paper cites).
+ */
+struct BaselineCost
+{
+    double areaMm2 = 0.0;
+    double staticW = 0.0;
+    double peakDynamicW = 0.0;
+    double hbmPjPerByte = 30.0;
+    double freqGHz = 1.0;
+
+    double averagePowerW(const RunStats &stats) const;
+    double energyJ(const RunStats &stats) const;
+    double seconds(const RunStats &stats) const;
+};
+
+} // namespace sim
+} // namespace ufc
+
+#endif // UFC_SIM_COST_MODEL_H

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Cycle engine implementation.
+ */
+
+#include "sim/engine.h"
+
+#include <algorithm>
+
+namespace ufc {
+namespace sim {
+
+double
+SpadModel::access(const isa::BufferRef &ref, double &writebackBytes)
+{
+    writebackBytes = 0.0;
+    if (ref.transient)
+        return 0.0;
+    if (ref.streaming)
+        return static_cast<double>(ref.bytes);
+
+    auto it = entries_.find(ref.id);
+    if (it != entries_.end()) {
+        // Hit: refresh recency; a write marks the entry dirty.
+        lru_.erase(it->second.lruIt);
+        lru_.push_front(ref.id);
+        it->second.lruIt = lru_.begin();
+        it->second.dirty = it->second.dirty || ref.write;
+        if (it->second.bytes < ref.bytes) {
+            used_ += ref.bytes - it->second.bytes;
+            it->second.bytes = ref.bytes;
+        }
+        return 0.0;
+    }
+
+    // Miss: make room, then install.
+    while (used_ + ref.bytes > capacity_ && !lru_.empty()) {
+        const u64 victim = lru_.back();
+        lru_.pop_back();
+        auto vit = entries_.find(victim);
+        if (vit->second.dirty)
+            writebackBytes += vit->second.bytes;
+        used_ -= vit->second.bytes;
+        entries_.erase(vit);
+    }
+    lru_.push_front(ref.id);
+    Entry e;
+    e.bytes = ref.bytes;
+    e.dirty = ref.write;
+    e.lruIt = lru_.begin();
+    entries_.emplace(ref.id, e);
+    used_ += ref.bytes;
+
+    // A freshly written buffer costs nothing to fetch.
+    return ref.write ? 0.0 : ref.bytes;
+}
+
+CycleEngine::CycleEngine(const MachinePerf *perf, int prefetchWindow)
+    : perf_(perf), spad_(perf->scratchpadBytes()), window_(prefetchWindow)
+{}
+
+void
+CycleEngine::reset()
+{
+    spad_.reset();
+    computeClock_ = 0.0;
+    memClock_ = 0.0;
+    recentComputeDone_.clear();
+    stats_ = RunStats{};
+}
+
+void
+CycleEngine::issue(const isa::HwInst &inst)
+{
+    // Memory phase: fetch missing operands, schedule write-backs.
+    double fetchBytes = 0.0;
+    double wbBytes = 0.0;
+    for (const auto &ref : inst.buffers) {
+        double wb = 0.0;
+        const double miss = spad_.access(ref, wb);
+        fetchBytes += miss;
+        wbBytes += wb;
+        if (miss == 0.0 && !ref.write && !ref.transient)
+            stats_.spadHitBytes += ref.bytes;
+    }
+    const double memCycles =
+        (fetchBytes + wbBytes) / perf_->hbmBytesPerCycle();
+
+    // The memory engine is in-order and may run at most `window_`
+    // instructions ahead of compute.
+    double memStart = memClock_;
+    if (static_cast<int>(recentComputeDone_.size()) >= window_) {
+        memStart = std::max(
+            memStart,
+            recentComputeDone_[recentComputeDone_.size() - window_]);
+    }
+    const double memDone = memStart + memCycles;
+    memClock_ = memDone;
+
+    // Compute phase starts when its operands arrived and the datapath is
+    // free.
+    const double cCycles = perf_->computeCycles(inst);
+    const double start = std::max(computeClock_, memDone);
+    const double done = start + cCycles + perf_->pipelineFillCycles();
+    computeClock_ = done;
+
+    recentComputeDone_.push_back(done);
+    if (static_cast<int>(recentComputeDone_.size()) > 4 * window_)
+        recentComputeDone_.pop_front();
+
+    // Accounting.
+    const auto res = perf_->resourceFor(inst);
+    stats_.busyCycles[static_cast<int>(res)] +=
+        cCycles * perf_->laneFraction(inst);
+    stats_.busyCycles[static_cast<int>(isa::Resource::Noc)] +=
+        perf_->nocCycles(inst);
+    stats_.hbmBytes += fetchBytes + wbBytes;
+    stats_.hbmBusyCycles += memCycles;
+    ++stats_.instCount;
+}
+
+RunStats
+CycleEngine::finish()
+{
+    stats_.totalCycles = std::max(computeClock_, memClock_);
+    return stats_;
+}
+
+} // namespace sim
+} // namespace ufc

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The cycle-level execution engine shared by all accelerator models.
+ *
+ * The engine consumes a primitive instruction stream in order and models:
+ *   - compute occupancy per resource (throughput supplied by the machine
+ *     performance model),
+ *   - an in-order memory engine with a bounded prefetch window, so compute
+ *     and memory overlap but dependency stalls still surface (this is what
+ *     keeps PE/HBM utilization below 100%, as in paper Figure 12),
+ *   - an LRU scratchpad at operand-buffer granularity (capacity effects
+ *     drive the scratchpad design-space exploration of Figures 13/14).
+ */
+
+#ifndef UFC_SIM_ENGINE_H
+#define UFC_SIM_ENGINE_H
+
+#include <deque>
+#include <list>
+#include <unordered_map>
+
+#include "isa/inst.h"
+#include "sim/stats.h"
+
+namespace ufc {
+namespace sim {
+
+/**
+ * Machine performance model: translates a primitive instruction into
+ * per-resource occupancy.  Each accelerator (UFC, SHARP, Strix) implements
+ * one of these.
+ */
+class MachinePerf
+{
+  public:
+    virtual ~MachinePerf() = default;
+
+    /** Cycles the instruction occupies its primary compute resource. */
+    virtual double computeCycles(const isa::HwInst &inst) const = 0;
+    /** Primary compute resource. */
+    virtual isa::Resource resourceFor(const isa::HwInst &inst) const = 0;
+    /** Fraction of the resource's lanes that are active [0, 1]. */
+    virtual double laneFraction(const isa::HwInst &inst) const = 0;
+    /** Additional NoC busy cycles caused by this instruction. */
+    virtual double nocCycles(const isa::HwInst &inst) const = 0;
+    /** Bytes the HBM can move per cycle. */
+    virtual double hbmBytesPerCycle() const = 0;
+    /** Scratchpad capacity in bytes. */
+    virtual double scratchpadBytes() const = 0;
+    /** Fixed pipeline fill/drain overhead charged per instruction; the
+     *  datapath is occupied but does no useful work (lowers utilization
+     *  of fine-grained instruction streams, e.g. TFHE blind rotation). */
+    virtual double pipelineFillCycles() const { return 24.0; }
+};
+
+/** LRU scratchpad at operand-buffer granularity. */
+class SpadModel
+{
+  public:
+    explicit SpadModel(double capacityBytes)
+        : capacity_(capacityBytes)
+    {}
+
+    /**
+     * Touch a buffer; returns the bytes that must be fetched from HBM
+     * (0 on a hit).  Write buffers are installed dirty; evicting a dirty
+     * buffer adds write-back traffic via `writebackBytes`.
+     */
+    double access(const isa::BufferRef &ref, double &writebackBytes);
+
+    void reset() { entries_.clear(); lru_.clear(); used_ = 0.0; }
+
+  private:
+    struct Entry
+    {
+        double bytes = 0.0;
+        bool dirty = false;
+        std::list<u64>::iterator lruIt;
+    };
+
+    double capacity_;
+    double used_ = 0.0;
+    std::unordered_map<u64, Entry> entries_;
+    std::list<u64> lru_; ///< front = most recent
+};
+
+/** In-order two-engine (compute + memory) cycle model. */
+class CycleEngine : public isa::InstSink
+{
+  public:
+    CycleEngine(const MachinePerf *perf, int prefetchWindow = 16);
+
+    void issue(const isa::HwInst &inst) override;
+
+    /** Finish outstanding work and return the accumulated statistics. */
+    RunStats finish();
+
+    /** Reset for a fresh run (keeps the machine model). */
+    void reset();
+
+  private:
+    const MachinePerf *perf_;
+    SpadModel spad_;
+    int window_;
+
+    double computeClock_ = 0.0;
+    double memClock_ = 0.0;
+    std::deque<double> recentComputeDone_;
+    RunStats stats_;
+};
+
+} // namespace sim
+} // namespace ufc
+
+#endif // UFC_SIM_ENGINE_H

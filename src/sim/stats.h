@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Simulation result accounting: cycles, per-resource busy time, memory
+ * traffic, and the derived delay/energy/EDP/EDAP metrics the paper
+ * reports.
+ */
+
+#ifndef UFC_SIM_STATS_H
+#define UFC_SIM_STATS_H
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "isa/inst.h"
+
+namespace ufc {
+namespace sim {
+
+/** Raw counters accumulated by the cycle engine. */
+struct RunStats
+{
+    double totalCycles = 0.0;
+    /// Busy-lane-weighted cycles per resource (busy * activeFraction).
+    std::array<double, isa::kNumResources> busyCycles{};
+    double hbmBytes = 0.0;      ///< total off-chip traffic
+    double hbmBusyCycles = 0.0; ///< cycles the HBM interface was active
+    double spadHitBytes = 0.0;  ///< operand bytes served on chip
+    u64 instCount = 0;
+
+    double
+    utilization(isa::Resource r) const
+    {
+        const double b = busyCycles[static_cast<int>(r)];
+        return totalCycles > 0 ? b / totalCycles : 0.0;
+    }
+
+    double
+    hbmUtilization() const
+    {
+        return totalCycles > 0 ? hbmBusyCycles / totalCycles : 0.0;
+    }
+
+    /** Processing-element utilization: fraction of time the PE datapath
+     *  (butterfly or vector lanes) is doing useful work.  The two unit
+     *  classes serve different instructions and never overlap in the
+     *  in-order model, so their busy times add. */
+    double
+    peUtilization() const
+    {
+        if (totalCycles <= 0)
+            return 0.0;
+        const double bf =
+            busyCycles[static_cast<int>(isa::Resource::Butterfly)];
+        const double va =
+            busyCycles[static_cast<int>(isa::Resource::VectorAlu)];
+        return std::min(1.0, (bf + va) / totalCycles);
+    }
+
+    void
+    merge(const RunStats &other)
+    {
+        totalCycles += other.totalCycles;
+        for (int i = 0; i < isa::kNumResources; ++i)
+            busyCycles[i] += other.busyCycles[i];
+        hbmBytes += other.hbmBytes;
+        hbmBusyCycles += other.hbmBusyCycles;
+        spadHitBytes += other.spadHitBytes;
+        instCount += other.instCount;
+    }
+};
+
+/** A finished run with physical units attached. */
+struct RunResult
+{
+    std::string machine;
+    std::string workload;
+    RunStats stats;
+    double seconds = 0.0;
+    double energyJ = 0.0;
+    double areaMm2 = 0.0;
+    double powerW = 0.0;
+
+    double edp() const { return energyJ * seconds; }
+    double edap() const { return energyJ * seconds * areaMm2; }
+};
+
+} // namespace sim
+} // namespace ufc
+
+#endif // UFC_SIM_STATS_H

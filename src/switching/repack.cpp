@@ -1,0 +1,87 @@
+/**
+ * @file
+ * EvalTrace-based ring packing implementation.
+ */
+
+#include "switching/repack.h"
+
+#include "common/check.h"
+
+namespace ufc {
+namespace switching {
+
+using tfhe::LweCiphertext;
+using tfhe::LweSecretKey;
+using tfhe::RlweCiphertext;
+using tfhe::RlweKeySwitchKey;
+using tfhe::RlweSecretKey;
+
+RingPacker::RingPacker(const RlweSecretKey &ringKey, const Gadget &gadget,
+                       double sigma, Rng &rng)
+    : degree_(ringKey.s.degree()), table_(ringKey.s.table()),
+      ringKey_(ringKey)
+{
+    // Trace steps (1 + sigma_k) for k = N/2^j + 1 compose to the full
+    // field trace; each needs a key switch sigma_k(s) -> s.
+    u64 step = degree_;
+    while (step >= 2) {
+        const u64 k = step + 1;
+        traceAutos_.push_back(k);
+        Poly rotatedKey = ringKey.s.automorphism(k);
+        traceKeys_.push_back(std::make_unique<RlweKeySwitchKey>(
+            rotatedKey, ringKey, gadget, sigma, rng));
+        step >>= 1;
+    }
+}
+
+LweSecretKey
+RingPacker::inputLweKey() const
+{
+    LweSecretKey key;
+    key.s = ringKey_.s.data();
+    return key;
+}
+
+RlweCiphertext
+RingPacker::pack(const std::vector<LweCiphertext> &lwes) const
+{
+    UFC_CHECK(!lwes.empty() && lwes.size() <= degree_,
+              "bad input count " << lwes.size());
+    const u64 q = table_->modulus().value();
+
+    RlweCiphertext total;
+    total.a = Poly(table_, PolyForm::Coeff);
+    total.b = Poly(table_, PolyForm::Coeff);
+
+    for (size_t i = 0; i < lwes.size(); ++i) {
+        const LweCiphertext &lwe = lwes[i];
+        UFC_CHECK(lwe.q == q && lwe.dim() == degree_,
+                  "LWE input parameters mismatch");
+
+        // Embed: phase[0] of the RLWE equals the LWE phase.
+        RlweCiphertext ct;
+        ct.a = Poly(table_, PolyForm::Coeff);
+        ct.b = Poly(table_, PolyForm::Coeff);
+        ct.b[0] = lwe.b;
+        ct.a[0] = lwe.a[0];
+        for (u64 j = 1; j < degree_; ++j)
+            ct.a[degree_ - j] = negMod(lwe.a[j], q);
+
+        // EvalTrace: zero every coefficient but the constant one
+        // (multiplying it by N).
+        for (size_t s = 0; s < traceKeys_.size(); ++s) {
+            RlweCiphertext rotated = applyRingAutomorphism(
+                ct, traceAutos_[s], *traceKeys_[s]);
+            rotated.toCoeff();
+            ct.toCoeff();
+            ct.addInPlace(rotated);
+        }
+
+        // Shift into coefficient i and superpose.
+        total.addInPlace(ct.mulByMonomial(static_cast<i64>(i)));
+    }
+    return total;
+}
+
+} // namespace switching
+} // namespace ufc

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Bootstrapped gate implementations.
+ */
+
+#include "tfhe/gates.h"
+
+namespace ufc {
+namespace tfhe {
+
+namespace {
+
+/** Encoding of true (+q/8) for the gate plaintext space. */
+u64
+trueValue(u64 q)
+{
+    return q / 8;
+}
+
+} // namespace
+
+LweCiphertext
+encryptBit(bool bit, const LweSecretKey &key, const TfheParams &params,
+           Rng &rng)
+{
+    const u64 q = params.q;
+    const u64 m = bit ? trueValue(q) : q - trueValue(q);
+    return lweEncrypt(m, key, params, rng);
+}
+
+bool
+decryptBit(const LweCiphertext &ct, const LweSecretKey &key)
+{
+    const u64 phase = lwePhase(ct, key);
+    // True iff the phase lies in the upper half-plane around +q/8, i.e.
+    // in [0, q/2).
+    return phase < ct.q / 2;
+}
+
+LweCiphertext
+gateNand(const BootstrapContext &bc, const LweCiphertext &a,
+         const LweCiphertext &b)
+{
+    // lin = (0, q/8) - a - b
+    LweCiphertext lin =
+        LweCiphertext::trivial(trueValue(a.q), a.dim(), a.q);
+    lin.subInPlace(a);
+    lin.subInPlace(b);
+    return bc.signBootstrap(lin);
+}
+
+LweCiphertext
+gateAnd(const BootstrapContext &bc, const LweCiphertext &a,
+        const LweCiphertext &b)
+{
+    // lin = a + b - (0, q/8)
+    LweCiphertext lin = a;
+    lin.addInPlace(b);
+    lin.subInPlace(LweCiphertext::trivial(trueValue(a.q), a.dim(), a.q));
+    return bc.signBootstrap(lin);
+}
+
+LweCiphertext
+gateOr(const BootstrapContext &bc, const LweCiphertext &a,
+       const LweCiphertext &b)
+{
+    // lin = a + b + (0, q/8)
+    LweCiphertext lin = a;
+    lin.addInPlace(b);
+    lin.addInPlace(LweCiphertext::trivial(trueValue(a.q), a.dim(), a.q));
+    return bc.signBootstrap(lin);
+}
+
+LweCiphertext
+gateNor(const BootstrapContext &bc, const LweCiphertext &a,
+        const LweCiphertext &b)
+{
+    LweCiphertext lin = a;
+    lin.addInPlace(b);
+    lin.addInPlace(LweCiphertext::trivial(trueValue(a.q), a.dim(), a.q));
+    lin.negInPlace();
+    return bc.signBootstrap(lin);
+}
+
+LweCiphertext
+gateXor(const BootstrapContext &bc, const LweCiphertext &a,
+        const LweCiphertext &b)
+{
+    // lin = 2*(a + b) + (0, q/4)
+    LweCiphertext lin = a;
+    lin.addInPlace(b);
+    lin.scaleInPlace(2);
+    lin.addInPlace(
+        LweCiphertext::trivial(a.q / 4, a.dim(), a.q));
+    return bc.signBootstrap(lin);
+}
+
+LweCiphertext
+gateXnor(const BootstrapContext &bc, const LweCiphertext &a,
+         const LweCiphertext &b)
+{
+    LweCiphertext lin = a;
+    lin.addInPlace(b);
+    lin.scaleInPlace(2);
+    lin.addInPlace(
+        LweCiphertext::trivial(a.q / 4, a.dim(), a.q));
+    lin.negInPlace();
+    return bc.signBootstrap(lin);
+}
+
+LweCiphertext
+gateNot(const LweCiphertext &a)
+{
+    LweCiphertext out = a;
+    out.negInPlace();
+    return out;
+}
+
+LweCiphertext
+gateMux(const BootstrapContext &bc, const LweCiphertext &s,
+        const LweCiphertext &a, const LweCiphertext &b)
+{
+    const LweCiphertext sa = gateAnd(bc, s, a);
+    const LweCiphertext nsb = gateAnd(bc, gateNot(s), b);
+    return gateOr(bc, sa, nsb);
+}
+
+} // namespace tfhe
+} // namespace ufc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bootstrapped boolean gates over LWE ciphertexts.
+ *
+ * Booleans are encoded as +q/8 (true) and -q/8 (false).  Every binary gate
+ * is one linear combination plus one sign bootstrap, the standard TFHE
+ * gate recipe the paper's logic-scheme workloads are built from.
+ */
+
+#ifndef UFC_TFHE_GATES_H
+#define UFC_TFHE_GATES_H
+
+#include "tfhe/bootstrap.h"
+
+namespace ufc {
+namespace tfhe {
+
+/** Encrypt a boolean under the small LWE key. */
+LweCiphertext encryptBit(bool bit, const LweSecretKey &key,
+                         const TfheParams &params, Rng &rng);
+
+/** Decrypt a boolean. */
+bool decryptBit(const LweCiphertext &ct, const LweSecretKey &key);
+
+LweCiphertext gateNand(const BootstrapContext &bc, const LweCiphertext &a,
+                       const LweCiphertext &b);
+LweCiphertext gateAnd(const BootstrapContext &bc, const LweCiphertext &a,
+                      const LweCiphertext &b);
+LweCiphertext gateOr(const BootstrapContext &bc, const LweCiphertext &a,
+                     const LweCiphertext &b);
+LweCiphertext gateXor(const BootstrapContext &bc, const LweCiphertext &a,
+                      const LweCiphertext &b);
+LweCiphertext gateXnor(const BootstrapContext &bc, const LweCiphertext &a,
+                       const LweCiphertext &b);
+LweCiphertext gateNor(const BootstrapContext &bc, const LweCiphertext &a,
+                      const LweCiphertext &b);
+/** NOT is noise-free (pure negation, no bootstrap). */
+LweCiphertext gateNot(const LweCiphertext &a);
+/** MUX(s, a, b) = s ? a : b, built from three bootstrapped gates. */
+LweCiphertext gateMux(const BootstrapContext &bc, const LweCiphertext &s,
+                      const LweCiphertext &a, const LweCiphertext &b);
+
+} // namespace tfhe
+} // namespace ufc
+
+#endif // UFC_TFHE_GATES_H

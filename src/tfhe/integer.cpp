@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Radix integer arithmetic implementation.
+ */
+
+#include "tfhe/integer.h"
+
+#include "common/check.h"
+
+namespace ufc {
+namespace tfhe {
+
+std::vector<LweCiphertext>
+RadixArithmetic::encrypt(u64 value, int digits, const LweSecretKey &key,
+                         const TfheParams &params, Rng &rng) const
+{
+    const u64 base = 1ULL << digitBits_;
+    const u64 t = msgSpace();
+    std::vector<LweCiphertext> out;
+    out.reserve(digits);
+    for (int i = 0; i < digits; ++i) {
+        const u64 d = (value >> (digitBits_ * i)) & (base - 1);
+        out.push_back(lweEncrypt(lweEncode(d, params.q, t), key, params,
+                                 rng));
+    }
+    return out;
+}
+
+u64
+RadixArithmetic::decrypt(const std::vector<LweCiphertext> &ct,
+                         const LweSecretKey &key) const
+{
+    const u64 t = msgSpace();
+    u64 value = 0;
+    for (size_t i = 0; i < ct.size(); ++i)
+        value += lweDecrypt(ct[i], key, t) << (digitBits_ * i);
+    return value;
+}
+
+std::vector<LweCiphertext>
+RadixArithmetic::propagateCarries(std::vector<LweCiphertext> digits) const
+{
+    const u64 base = 1ULL << digitBits_;
+    const u64 t = msgSpace();
+
+    // LUTs over the padded half-domain [0, t/2).
+    std::vector<u64> lowLut(t), carryLut(t);
+    for (u64 m = 0; m < t; ++m) {
+        lowLut[m] = m & (base - 1);
+        carryLut[m] = m >> digitBits_;
+    }
+
+    std::vector<LweCiphertext> out;
+    out.reserve(digits.size());
+    for (size_t i = 0; i < digits.size(); ++i) {
+        out.push_back(bc_->programmableBootstrap(digits[i], lowLut, t));
+        if (i + 1 < digits.size()) {
+            const LweCiphertext carry =
+                bc_->programmableBootstrap(digits[i], carryLut, t);
+            digits[i + 1].addInPlace(carry);
+        }
+    }
+    return out;
+}
+
+std::vector<LweCiphertext>
+RadixArithmetic::add(const std::vector<LweCiphertext> &a,
+                     const std::vector<LweCiphertext> &b) const
+{
+    UFC_CHECK(a.size() == b.size(), "radix width mismatch");
+    std::vector<LweCiphertext> sum = a;
+    for (size_t i = 0; i < sum.size(); ++i)
+        sum[i].addInPlace(b[i]);
+    return propagateCarries(std::move(sum));
+}
+
+std::vector<LweCiphertext>
+RadixArithmetic::scalarMul(const std::vector<LweCiphertext> &a,
+                           u64 scalar) const
+{
+    // Iterated addition keeps every intermediate digit inside the carry
+    // headroom regardless of the scalar's size.
+    UFC_CHECK(scalar >= 1, "scalar must be positive");
+    std::vector<LweCiphertext> acc = a;
+    for (u64 s = 1; s < scalar; ++s)
+        acc = add(acc, a);
+    return acc;
+}
+
+std::vector<LweCiphertext>
+RadixArithmetic::mapDigits(const std::vector<LweCiphertext> &a,
+                           const std::vector<u64> &lut) const
+{
+    const u64 base = 1ULL << digitBits_;
+    const u64 t = msgSpace();
+    UFC_CHECK(lut.size() == base, "digit lut must have 2^digitBits "
+                                  "entries");
+    std::vector<u64> fullLut(t);
+    for (u64 m = 0; m < t; ++m)
+        fullLut[m] = lut[m & (base - 1)] & (base - 1);
+
+    // Normalize first so every digit is inside [0, base).
+    auto norm = propagateCarries(a);
+    std::vector<LweCiphertext> out;
+    out.reserve(norm.size());
+    for (const auto &d : norm)
+        out.push_back(bc_->programmableBootstrap(d, fullLut, t));
+    return out;
+}
+
+} // namespace tfhe
+} // namespace ufc

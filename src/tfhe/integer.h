@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Radix-encoded encrypted integers over the logic scheme.
+ *
+ * A RadixInteger holds an unsigned value as base-2^b digits, one LWE per
+ * digit, each with one bit of carry headroom (message space 2^(b+1) with
+ * the padding-bit convention).  Addition is linear; carry propagation and
+ * digit-wise functions use programmable bootstraps — the structure behind
+ * the paper's ZAMA-style NN workloads, where every activation is a PBS.
+ */
+
+#ifndef UFC_TFHE_INTEGER_H
+#define UFC_TFHE_INTEGER_H
+
+#include "tfhe/bootstrap.h"
+
+namespace ufc {
+namespace tfhe {
+
+/** Arithmetic on radix-encoded encrypted unsigned integers. */
+class RadixArithmetic
+{
+  public:
+    /**
+     * @param bc         bootstrap context (PBS engine)
+     * @param digitBits  bits per digit (message space 2^(digitBits+2)
+     *                   must fit the scheme's precision; 2 is a safe
+     *                   default at test parameters)
+     */
+    RadixArithmetic(const BootstrapContext *bc, int digitBits = 2)
+        : bc_(bc), digitBits_(digitBits)
+    {}
+
+    int digitBits() const { return digitBits_; }
+    /** Message modulus used per digit ciphertext (with carry room). */
+    u64 msgSpace() const { return 1ULL << (digitBits_ + 2); }
+
+    /** Encrypt `value` as `digits` base-2^digitBits digits. */
+    std::vector<LweCiphertext> encrypt(u64 value, int digits,
+                                       const LweSecretKey &key,
+                                       const TfheParams &params,
+                                       Rng &rng) const;
+
+    /** Decrypt a radix integer. */
+    u64 decrypt(const std::vector<LweCiphertext> &ct,
+                const LweSecretKey &key) const;
+
+    /**
+     * Homomorphic addition with full carry propagation: one linear add
+     * per digit plus two PBS per digit (extract digit, extract carry).
+     */
+    std::vector<LweCiphertext> add(const std::vector<LweCiphertext> &a,
+                                   const std::vector<LweCiphertext> &b)
+        const;
+
+    /** Multiply by a small plaintext scalar, then renormalize digits. */
+    std::vector<LweCiphertext> scalarMul(
+        const std::vector<LweCiphertext> &a, u64 scalar) const;
+
+    /**
+     * Apply an arbitrary digit-wise lookup table f: [0, 2^digitBits) ->
+     * [0, 2^digitBits) to every digit (one PBS per digit).
+     */
+    std::vector<LweCiphertext> mapDigits(
+        const std::vector<LweCiphertext> &a,
+        const std::vector<u64> &lut) const;
+
+  private:
+    /** Renormalize: propagate carries so every digit < 2^digitBits. */
+    std::vector<LweCiphertext> propagateCarries(
+        std::vector<LweCiphertext> digits) const;
+
+    const BootstrapContext *bc_;
+    int digitBits_;
+};
+
+} // namespace tfhe
+} // namespace ufc
+
+#endif // UFC_TFHE_INTEGER_H

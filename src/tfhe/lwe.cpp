@@ -1,0 +1,136 @@
+/**
+ * @file
+ * LWE ciphertext operations.
+ */
+
+#include "tfhe/lwe.h"
+
+#include "common/check.h"
+
+namespace ufc {
+namespace tfhe {
+
+LweSecretKey
+LweSecretKey::generate(u32 dim, Rng &rng)
+{
+    LweSecretKey key;
+    key.s.resize(dim);
+    for (auto &bit : key.s)
+        bit = rng.next() & 1;
+    return key;
+}
+
+LweCiphertext
+LweCiphertext::trivial(u64 m, u32 dim, u64 q)
+{
+    LweCiphertext ct;
+    ct.a.assign(dim, 0);
+    ct.b = m % q;
+    ct.q = q;
+    return ct;
+}
+
+void
+LweCiphertext::addInPlace(const LweCiphertext &other)
+{
+    UFC_CHECK(q == other.q && a.size() == other.a.size(),
+              "LWE parameter mismatch");
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] = addMod(a[i], other.a[i], q);
+    b = addMod(b, other.b, q);
+}
+
+void
+LweCiphertext::subInPlace(const LweCiphertext &other)
+{
+    UFC_CHECK(q == other.q && a.size() == other.a.size(),
+              "LWE parameter mismatch");
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] = subMod(a[i], other.a[i], q);
+    b = subMod(b, other.b, q);
+}
+
+void
+LweCiphertext::negInPlace()
+{
+    for (auto &x : a)
+        x = negMod(x, q);
+    b = negMod(b, q);
+}
+
+void
+LweCiphertext::scaleInPlace(u64 scalar)
+{
+    for (auto &x : a)
+        x = mulMod(x, scalar, q);
+    b = mulMod(b, scalar, q);
+}
+
+LweCiphertext
+LweCiphertext::modSwitch(u64 newQ) const
+{
+    auto round = [&](u64 x) {
+        return static_cast<u64>(
+            (static_cast<u128>(x) * newQ + q / 2) / q) % newQ;
+    };
+    LweCiphertext out;
+    out.a.resize(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out.a[i] = round(a[i]);
+    out.b = round(b);
+    out.q = newQ;
+    return out;
+}
+
+LweCiphertext
+lweEncrypt(u64 m, const LweSecretKey &key, const TfheParams &params,
+           Rng &rng)
+{
+    const u64 q = params.q;
+    LweCiphertext ct;
+    ct.q = q;
+    ct.a.resize(key.s.size());
+    u64 acc = m % q;
+    for (size_t i = 0; i < key.s.size(); ++i) {
+        ct.a[i] = rng.uniform(q);
+        if (key.s[i])
+            acc = addMod(acc, mulMod(ct.a[i], key.s[i], q), q);
+    }
+    ct.b = addMod(acc, rng.gaussianMod(params.lweSigma, q), q);
+    return ct;
+}
+
+u64
+lwePhase(const LweCiphertext &ct, const LweSecretKey &key)
+{
+    UFC_CHECK(ct.a.size() == key.s.size(), "key dimension mismatch");
+    u64 dot = 0;
+    for (size_t i = 0; i < key.s.size(); ++i) {
+        if (key.s[i])
+            dot = addMod(dot, mulMod(ct.a[i], key.s[i], ct.q), ct.q);
+    }
+    return subMod(ct.b, dot, ct.q);
+}
+
+u64
+lweDecode(u64 phase, u64 q, u64 t)
+{
+    return static_cast<u64>(
+        (static_cast<u128>(phase) * t + q / 2) / q) % t;
+}
+
+u64
+lweDecrypt(const LweCiphertext &ct, const LweSecretKey &key, u64 t)
+{
+    return lweDecode(lwePhase(ct, key), ct.q, t);
+}
+
+u64
+lweEncode(u64 m, u64 q, u64 t)
+{
+    return static_cast<u64>(
+        (static_cast<u128>(m % t) * q + t / 2) / t);
+}
+
+} // namespace tfhe
+} // namespace ufc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * LWE ciphertexts for the logic scheme (paper Section II-A1).
+ *
+ * Convention: an LWE encryption of m under binary key s is (a, b) with
+ * b = <a, s> + m + e (mod q); decryption computes phase = b - <a, s>.
+ */
+
+#ifndef UFC_TFHE_LWE_H
+#define UFC_TFHE_LWE_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "math/mod_arith.h"
+#include "tfhe/params.h"
+
+namespace ufc {
+namespace tfhe {
+
+/** LWE secret key of dimension n.  Freshly generated keys are binary,
+ *  but arbitrary small values mod q (e.g. the ternary coefficients of a
+ *  CKKS ring key during scheme switching) are supported throughout. */
+struct LweSecretKey
+{
+    std::vector<u64> s;
+
+    static LweSecretKey generate(u32 dim, Rng &rng);
+};
+
+/** An LWE ciphertext (a_0..a_{n-1}, b) mod q. */
+struct LweCiphertext
+{
+    std::vector<u64> a;
+    u64 b = 0;
+    u64 q = 0;
+
+    u32 dim() const { return static_cast<u32>(a.size()); }
+
+    /** Noiseless ciphertext (0, m) used as the start of linear combos. */
+    static LweCiphertext trivial(u64 m, u32 dim, u64 q);
+
+    void addInPlace(const LweCiphertext &other);
+    void subInPlace(const LweCiphertext &other);
+    void negInPlace();
+    void scaleInPlace(u64 scalar);
+    /** Add a constant to the body only (shifts the plaintext). */
+    void addConstant(u64 c) { b = addMod(b, c, q); }
+
+    /**
+     * Switch the ciphertext modulus from q to 2N by rounding — the first
+     * step of functional bootstrapping (packing, paper Section II-C2).
+     */
+    LweCiphertext modSwitch(u64 newQ) const;
+};
+
+/** Fresh encryption of value m (already scaled into Z_q). */
+LweCiphertext lweEncrypt(u64 m, const LweSecretKey &key,
+                         const TfheParams &params, Rng &rng);
+
+/** Phase b - <a, s> mod q (message plus noise). */
+u64 lwePhase(const LweCiphertext &ct, const LweSecretKey &key);
+
+/**
+ * Decode a phase to the nearest multiple of q/t and return the message in
+ * [0, t).
+ */
+u64 lweDecode(u64 phase, u64 q, u64 t);
+
+/** Decrypt and decode in one step. */
+u64 lweDecrypt(const LweCiphertext &ct, const LweSecretKey &key, u64 t);
+
+/** Encode message m in [0, t) as m * q / t. */
+u64 lweEncode(u64 m, u64 q, u64 t);
+
+} // namespace tfhe
+} // namespace ufc
+
+#endif // UFC_TFHE_LWE_H

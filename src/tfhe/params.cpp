@@ -1,0 +1,71 @@
+/**
+ * @file
+ * TFHE parameter set definitions (paper Table III).
+ */
+
+#include "tfhe/params.h"
+
+#include "math/primes.h"
+
+namespace ufc {
+namespace tfhe {
+
+namespace {
+
+TfheParams
+makeParams(std::string name, u32 n, u32 ringN, int gk, int ksBase,
+           int ksLev)
+{
+    TfheParams p;
+    p.name = std::move(name);
+    p.lweDim = n;
+    p.lweSigma = 3.2;
+    p.ringDim = ringN;
+    // 32-bit NTT-friendly prime (q ≡ 1 mod 2N).
+    p.q = findNttPrime(32, 2ULL * ringN);
+    p.rlweSigma = 3.2;
+    // Paper's g_k is the number of gadget levels; base chosen so the
+    // decomposition covers the top bits of the 32-bit modulus.
+    p.gadgetLevels = gk;
+    p.gadgetLogBase = (gk == 2) ? 11 : 8;
+    p.ksLogBase = ksBase;
+    p.ksLevels = ksLev;
+    return p;
+}
+
+} // namespace
+
+TfheParams
+TfheParams::t1()
+{
+    return makeParams("T1", 500, 1u << 10, 2, 4, 6);
+}
+
+TfheParams
+TfheParams::t2()
+{
+    return makeParams("T2", 630, 1u << 10, 3, 4, 6);
+}
+
+TfheParams
+TfheParams::t3()
+{
+    return makeParams("T3", 592, 1u << 11, 3, 4, 6);
+}
+
+TfheParams
+TfheParams::t4()
+{
+    return makeParams("T4", 991, 1u << 14, 2, 4, 6);
+}
+
+TfheParams
+TfheParams::testFast()
+{
+    // Small enough for fast unit tests, with noise margins identical in
+    // structure to the production sets.
+    return makeParams("TEST", 128, 1u << 9, 3, 4, 6);
+}
+
+} // namespace tfhe
+} // namespace ufc

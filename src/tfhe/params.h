@@ -1,0 +1,61 @@
+/**
+ * @file
+ * TFHE parameter sets.
+ *
+ * UFC implements the logic scheme over an NTT-friendly prime modulus
+ * (paper Section VII-D: "UFC supports NTT-friendly primes and Strix
+ * supports powers of two, both 32-bit integer"), so all ciphertext
+ * components here live in Z_q for a prime q ≡ 1 (mod 2N).
+ *
+ * The named sets T1-T4 mirror paper Table III; `testFast()` is a smaller
+ * set for unit tests.  Noise parameters are chosen for functional
+ * correctness of this software reproduction, not re-validated for 128-bit
+ * security.
+ */
+
+#ifndef UFC_TFHE_PARAMS_H
+#define UFC_TFHE_PARAMS_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace ufc {
+namespace tfhe {
+
+/** All algorithmic parameters of the logic scheme. */
+struct TfheParams
+{
+    std::string name;
+
+    // LWE (small) dimension and noise.
+    u32 lweDim = 0;          ///< n
+    double lweSigma = 0.0;   ///< fresh LWE noise stddev
+
+    // RLWE ring.
+    u32 ringDim = 0;         ///< N
+    u64 q = 0;               ///< NTT-friendly prime ciphertext modulus
+    double rlweSigma = 0.0;  ///< RLWE/RGSW noise stddev
+
+    // RGSW gadget (external products in blind rotation).
+    int gadgetLogBase = 0;   ///< log2(Bg)
+    int gadgetLevels = 0;    ///< l (paper's g_k)
+
+    // LWE-to-LWE key switching.
+    int ksLogBase = 0;       ///< log2(Bks)
+    int ksLevels = 0;        ///< d_ks
+
+    /** Paper Table III parameter sets (q filled with an NTT prime). */
+    static TfheParams t1();
+    static TfheParams t2();
+    static TfheParams t3();
+    static TfheParams t4();
+
+    /** Small parameters for fast unit tests. */
+    static TfheParams testFast();
+};
+
+} // namespace tfhe
+} // namespace ufc
+
+#endif // UFC_TFHE_PARAMS_H

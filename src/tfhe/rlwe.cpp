@@ -1,0 +1,201 @@
+/**
+ * @file
+ * RLWE / RGSW operations: external product, CMux, sample extraction.
+ */
+
+#include "tfhe/rlwe.h"
+
+#include "common/check.h"
+
+namespace ufc {
+namespace tfhe {
+
+RlweSecretKey
+RlweSecretKey::generate(const NttTable *table, Rng &rng)
+{
+    RlweSecretKey key;
+    key.s = Poly(table, PolyForm::Coeff);
+    for (u64 i = 0; i < table->degree(); ++i)
+        key.s[i] = rng.next() & 1;
+    return key;
+}
+
+RlweCiphertext
+RlweCiphertext::trivial(Poly m)
+{
+    RlweCiphertext ct;
+    ct.a = Poly(m.table(), m.form());
+    ct.b = std::move(m);
+    return ct;
+}
+
+void
+RlweCiphertext::addInPlace(const RlweCiphertext &other)
+{
+    a.addInPlace(other.a);
+    b.addInPlace(other.b);
+}
+
+void
+RlweCiphertext::subInPlace(const RlweCiphertext &other)
+{
+    a.subInPlace(other.a);
+    b.subInPlace(other.b);
+}
+
+RlweCiphertext
+RlweCiphertext::mulByMonomial(i64 r) const
+{
+    RlweCiphertext out;
+    out.a = a.mulByMonomial(r);
+    out.b = b.mulByMonomial(r);
+    return out;
+}
+
+void
+RlweCiphertext::toCoeff()
+{
+    a.toCoeff();
+    b.toCoeff();
+}
+
+void
+RlweCiphertext::toEval()
+{
+    a.toEval();
+    b.toEval();
+}
+
+RlweCiphertext
+rlweEncrypt(const Poly &m, const RlweSecretKey &key, double sigma, Rng &rng)
+{
+    UFC_CHECK(m.form() == PolyForm::Coeff, "message must be in Coeff form");
+    RlweCiphertext ct;
+    ct.a = Poly(m.table(), PolyForm::Coeff);
+    ct.a.sampleUniform(rng);
+
+    // b = a*s + m + e
+    ct.b = negacyclicMul(ct.a, key.s); // Eval form
+    ct.b.toCoeff();
+    Poly e(m.table(), PolyForm::Coeff);
+    e.sampleGaussian(rng, sigma);
+    ct.b.addInPlace(m);
+    ct.b.addInPlace(e);
+    return ct;
+}
+
+Poly
+rlwePhase(const RlweCiphertext &ct, const RlweSecretKey &key)
+{
+    RlweCiphertext c = ct;
+    c.toCoeff();
+    Poly as = negacyclicMul(c.a, key.s);
+    as.toCoeff();
+    Poly phase = c.b;
+    phase.subInPlace(as);
+    return phase;
+}
+
+RgswCiphertext
+rgswEncrypt(const Poly &m, const RlweSecretKey &key, const Gadget &gadget,
+            double sigma, Rng &rng)
+{
+    UFC_CHECK(m.form() == PolyForm::Coeff, "message must be in Coeff form");
+    const int l = gadget.levels();
+    RgswCiphertext out;
+    out.levels = l;
+    out.rows.reserve(2 * l);
+
+    Poly zero(m.table(), PolyForm::Coeff);
+    for (int i = 0; i < 2 * l; ++i) {
+        RlweCiphertext row = rlweEncrypt(zero, key, sigma, rng);
+        // Add m * g_i to the `a` slot (rows 0..l-1) or `b` slot.
+        Poly mg = m;
+        mg.scaleInPlace(gadget.g(i % l));
+        if (i < l)
+            row.a.addInPlace(mg);
+        else
+            row.b.addInPlace(mg);
+        row.toEval();
+        out.rows.push_back(std::move(row));
+    }
+    return out;
+}
+
+RlweCiphertext
+externalProduct(const RgswCiphertext &rgsw, const RlweCiphertext &rlwe,
+                const Gadget &gadget)
+{
+    const int l = gadget.levels();
+    UFC_CHECK(static_cast<int>(rgsw.rows.size()) == 2 * l,
+              "RGSW row count mismatch");
+    RlweCiphertext in = rlwe;
+    in.toCoeff();
+    const NttTable *table = in.b.table();
+    const u64 n = in.b.degree();
+
+    // Decompose a and b into l digit polynomials each (Decomp primitive).
+    std::vector<Poly> digits;
+    digits.reserve(2 * l);
+    for (int i = 0; i < 2 * l; ++i)
+        digits.emplace_back(table, PolyForm::Coeff);
+    std::vector<u64> d(l);
+    for (u64 c = 0; c < n; ++c) {
+        gadget.decompose(in.a[c], d.data());
+        for (int i = 0; i < l; ++i)
+            digits[i][c] = d[i];
+        gadget.decompose(in.b[c], d.data());
+        for (int i = 0; i < l; ++i)
+            digits[l + i][c] = d[i];
+    }
+
+    // NTT each digit polynomial, then accumulate against the RGSW rows
+    // (EWMM + EWMA primitives).
+    RlweCiphertext acc;
+    acc.a = Poly(table, PolyForm::Eval);
+    acc.b = Poly(table, PolyForm::Eval);
+    for (int i = 0; i < 2 * l; ++i) {
+        digits[i].toEval();
+        acc.a.fmaEval(digits[i], rgsw.rows[i].a);
+        acc.b.fmaEval(digits[i], rgsw.rows[i].b);
+    }
+    acc.toCoeff();
+    return acc;
+}
+
+RlweCiphertext
+cmux(const RgswCiphertext &c, const RlweCiphertext &ct0,
+     const RlweCiphertext &ct1, const Gadget &gadget)
+{
+    RlweCiphertext diff = ct1;
+    diff.subInPlace(ct0);
+    RlweCiphertext sel = externalProduct(c, diff, gadget);
+    sel.addInPlace(ct0);
+    return sel;
+}
+
+LweCiphertext
+sampleExtract(const RlweCiphertext &ct, u64 index)
+{
+    RlweCiphertext c = ct;
+    c.toCoeff();
+    const u64 n = c.b.degree();
+    const u64 q = c.b.modulus();
+    UFC_CHECK(index < n, "extract index out of range");
+
+    LweCiphertext out;
+    out.q = q;
+    out.a.resize(n);
+    // phase_k = b_k - sum_{i<=k} a_{k-i} s_i + sum_{i>k} a_{N+k-i} s_i
+    for (u64 i = 0; i < n; ++i) {
+        if (i <= index)
+            out.a[i] = c.a[index - i];
+        else
+            out.a[i] = negMod(c.a[n + index - i], q);
+    }
+    out.b = c.b[index];
+    return out;
+}
+
+} // namespace tfhe
+} // namespace ufc

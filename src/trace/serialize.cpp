@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Trace text serialization implementation.
+ *
+ * Format:
+ *   trace <name>
+ *   ckks <ringDim> <levels> <special> <dnum> <limbBits>
+ *   tfhe <ringDim> <lweDim> <gadgetLevels> <ksLevels> <limbBits>
+ *   live <liveCiphertexts>
+ *   op <mnemonic> <limbs> <count> <fanIn> <keyId>
+ *   ...
+ *   end
+ */
+
+#include "trace/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ufc {
+namespace trace {
+
+namespace {
+
+struct KindName
+{
+    OpKind kind;
+    const char *name;
+};
+
+constexpr KindName kKindNames[] = {
+    {OpKind::CkksAdd, "ckks.add"},
+    {OpKind::CkksAddPlain, "ckks.addplain"},
+    {OpKind::CkksMult, "ckks.mult"},
+    {OpKind::CkksMultPlain, "ckks.multplain"},
+    {OpKind::CkksRescale, "ckks.rescale"},
+    {OpKind::CkksRotate, "ckks.rotate"},
+    {OpKind::CkksConjugate, "ckks.conjugate"},
+    {OpKind::CkksModRaise, "ckks.modraise"},
+    {OpKind::TfheLinear, "tfhe.linear"},
+    {OpKind::TfhePbs, "tfhe.pbs"},
+    {OpKind::TfheKeySwitch, "tfhe.keyswitch"},
+    {OpKind::TfheModSwitch, "tfhe.modswitch"},
+    {OpKind::SwitchExtract, "switch.extract"},
+    {OpKind::SwitchRepack, "switch.repack"},
+};
+
+} // namespace
+
+const char *
+opKindName(OpKind kind)
+{
+    for (const auto &entry : kKindNames) {
+        if (entry.kind == kind)
+            return entry.name;
+    }
+    ufcPanic("unknown op kind");
+}
+
+bool
+opKindFromName(const std::string &name, OpKind &kind)
+{
+    for (const auto &entry : kKindNames) {
+        if (name == entry.name) {
+            kind = entry.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+writeTrace(const Trace &tr, std::ostream &os)
+{
+    os << "trace " << tr.name << "\n";
+    os << "ckks " << tr.ckksRingDim << " " << tr.ckksLevels << " "
+       << tr.ckksSpecial << " " << tr.ckksDnum << " " << tr.ckksLimbBits
+       << "\n";
+    os << "tfhe " << tr.tfheRingDim << " " << tr.tfheLweDim << " "
+       << tr.tfheGadgetLevels << " " << tr.tfheKsLevels << " "
+       << tr.tfheLimbBits << "\n";
+    os << "live " << tr.liveCiphertexts << "\n";
+    for (const auto &op : tr.ops) {
+        os << "op " << opKindName(op.kind) << " " << op.limbs << " "
+           << op.count << " " << op.fanIn << " " << op.keyId << "\n";
+    }
+    os << "end\n";
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    Trace tr;
+    std::string line;
+    bool sawEnd = false;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string tag;
+        ss >> tag;
+        if (tag == "trace") {
+            ss >> tr.name;
+        } else if (tag == "ckks") {
+            ss >> tr.ckksRingDim >> tr.ckksLevels >> tr.ckksSpecial >>
+                tr.ckksDnum >> tr.ckksLimbBits;
+        } else if (tag == "tfhe") {
+            ss >> tr.tfheRingDim >> tr.tfheLweDim >>
+                tr.tfheGadgetLevels >> tr.tfheKsLevels >> tr.tfheLimbBits;
+        } else if (tag == "live") {
+            ss >> tr.liveCiphertexts;
+        } else if (tag == "op") {
+            std::string mnemonic;
+            TraceOp op{};
+            ss >> mnemonic >> op.limbs >> op.count >> op.fanIn >> op.keyId;
+            UFC_REQUIRE(opKindFromName(mnemonic, op.kind),
+                        "unknown trace op: " << mnemonic);
+            UFC_REQUIRE(!ss.fail(), "malformed op line: " << line);
+            tr.ops.push_back(op);
+        } else if (tag == "end") {
+            sawEnd = true;
+            break;
+        } else {
+            ufcFatal("unknown trace line tag: " + tag);
+        }
+    }
+    UFC_REQUIRE(sawEnd, "trace missing 'end' marker");
+    return tr;
+}
+
+void
+saveTrace(const Trace &tr, const std::string &path)
+{
+    std::ofstream os(path);
+    UFC_REQUIRE(os.good(), "cannot open " + path + " for writing");
+    writeTrace(tr, os);
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path);
+    UFC_REQUIRE(is.good(), "cannot open " + path);
+    return readTrace(is);
+}
+
+} // namespace trace
+} // namespace ufc

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Text serialization of workload traces.
+ *
+ * The paper's flow (Section VI-B) generates ciphertext-granularity traces
+ * with a tracing tool and feeds them to a compiler as files; this module
+ * provides that interchange format: a line-oriented, diff-friendly text
+ * encoding with the parameter header followed by one op per line.
+ */
+
+#ifndef UFC_TRACE_SERIALIZE_H
+#define UFC_TRACE_SERIALIZE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace ufc {
+namespace trace {
+
+/** Write a trace in the text format. */
+void writeTrace(const Trace &tr, std::ostream &os);
+/** Parse a trace from the text format; throws via ufcFatal on errors. */
+Trace readTrace(std::istream &is);
+
+/** Convenience file wrappers. */
+void saveTrace(const Trace &tr, const std::string &path);
+Trace loadTrace(const std::string &path);
+
+/** Stable op-kind <-> mnemonic mapping used by the format. */
+const char *opKindName(OpKind kind);
+bool opKindFromName(const std::string &name, OpKind &kind);
+
+} // namespace trace
+} // namespace ufc
+
+#endif // UFC_TRACE_SERIALIZE_H

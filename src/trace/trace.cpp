@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Trace IR helpers.
+ */
+
+#include "trace/trace.h"
+
+namespace ufc {
+namespace trace {
+
+Scheme
+TraceOp::scheme() const
+{
+    switch (kind) {
+      case OpKind::CkksAdd:
+      case OpKind::CkksAddPlain:
+      case OpKind::CkksMult:
+      case OpKind::CkksMultPlain:
+      case OpKind::CkksRescale:
+      case OpKind::CkksRotate:
+      case OpKind::CkksConjugate:
+      case OpKind::CkksModRaise:
+        return Scheme::Ckks;
+      case OpKind::TfheLinear:
+      case OpKind::TfhePbs:
+      case OpKind::TfheKeySwitch:
+      case OpKind::TfheModSwitch:
+        return Scheme::Tfhe;
+      case OpKind::SwitchExtract:
+      case OpKind::SwitchRepack:
+        return Scheme::Switch;
+    }
+    return Scheme::Ckks;
+}
+
+u64
+Trace::totalOps() const
+{
+    u64 total = 0;
+    for (const auto &op : ops)
+        total += op.count;
+    return total;
+}
+
+} // namespace trace
+} // namespace ufc

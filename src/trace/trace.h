@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ciphertext-granularity trace IR (paper Section VI-B).
+ *
+ * Workload generators emit machine-independent streams of high-level FHE
+ * operations; each accelerator model's compiler lowers them to its own
+ * primitive instruction stream.  This mirrors the paper's tracing tool on
+ * top of OpenFHE feeding a compiler that emits hardware instructions.
+ */
+
+#ifndef UFC_TRACE_TRACE_H
+#define UFC_TRACE_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ufc {
+namespace trace {
+
+/** High-level FHE operation kinds. */
+enum class OpKind
+{
+    // CKKS (SIMD-scheme) operations.
+    CkksAdd,        ///< homomorphic add/sub (ciphertext-ciphertext)
+    CkksAddPlain,   ///< ciphertext-plaintext add
+    CkksMult,       ///< ciphertext multiply + relinearization
+    CkksMultPlain,  ///< ciphertext-plaintext multiply
+    CkksRescale,    ///< divide by last limb
+    CkksRotate,     ///< automorphism + key switch
+    CkksConjugate,  ///< conjugation automorphism + key switch
+    CkksModRaise,   ///< bootstrap step: extend basis back to L limbs
+
+    // TFHE (logic-scheme) operations.
+    TfheLinear,     ///< LWE additions / scalar multiplies
+    TfhePbs,        ///< programmable/functional bootstrap
+    TfheKeySwitch,  ///< LWE key switch
+    TfheModSwitch,  ///< LWE modulus switch
+
+    // Scheme switching.
+    SwitchExtract,  ///< RLWE -> LWE extraction (+ TFHE key switch)
+    SwitchRepack,   ///< LWEs -> RLWE repacking (linear transform)
+};
+
+/** Which scheme an op belongs to (for composed-system dispatch). */
+enum class Scheme { Ckks, Tfhe, Switch };
+
+/** One traced high-level operation. */
+struct TraceOp
+{
+    OpKind kind;
+    /// CKKS: active q limbs at the time of the op; TFHE: unused.
+    int limbs = 0;
+    /// Batch of identical independent ops traced together (e.g. parallel
+    /// PBS in a batched NN layer, parallel rotations in BSGS).
+    int count = 1;
+    /// TFHE ops: number of LWE inputs for linear ops.
+    int fanIn = 0;
+    /// Which evaluation key the op uses (rotations: the rotation step).
+    /// Distinct ids compete for scratchpad space.
+    int keyId = 0;
+
+    Scheme scheme() const;
+};
+
+/** A traced workload: the op stream plus its parameter metadata. */
+struct Trace
+{
+    std::string name;
+    // CKKS parameters used by the trace (0 when TFHE-only).
+    u64 ckksRingDim = 0;
+    int ckksLevels = 0;
+    int ckksSpecial = 0;
+    int ckksDnum = 0;
+    int ckksLimbBits = 0;
+    // TFHE parameters used by the trace (0 when CKKS-only).
+    u64 tfheRingDim = 0;
+    u32 tfheLweDim = 0;
+    int tfheGadgetLevels = 0;
+    int tfheKsLevels = 0;
+    int tfheLimbBits = 32;
+
+    /// Approximate number of simultaneously live ciphertexts; drives the
+    /// scratchpad working-set model.
+    int liveCiphertexts = 16;
+
+    std::vector<TraceOp> ops;
+
+    /** Append an op. */
+    void
+    push(OpKind kind, int limbs, int count = 1, int fanIn = 0,
+         int keyId = 0)
+    {
+        ops.push_back(TraceOp{kind, limbs, count, fanIn, keyId});
+    }
+
+    /** Total high-level op count (sum of batched counts). */
+    u64 totalOps() const;
+};
+
+} // namespace trace
+} // namespace ufc
+
+#endif // UFC_TRACE_TRACE_H

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Workload trace generators.
+ *
+ * Operation counts follow the published algorithm structures (HELR,
+ * ResNet-20 with approximated ReLU, k-way bitonic sorting, Han-Ki
+ * bootstrapping, ZAMA NN inference, oblivious top-k k-NN).  Absolute
+ * counts are parameterized approximations of those structures — the
+ * accelerator comparison depends on the op mix and parameter sets, not on
+ * data values.
+ */
+
+#include "workloads/workloads.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "trace/trace.h"
+
+namespace ufc {
+namespace workloads {
+
+using trace::OpKind;
+using trace::Trace;
+
+void
+setCkksParams(Trace &tr, const ckks::CkksParams &p)
+{
+    tr.ckksRingDim = p.ringDim;
+    tr.ckksLevels = p.levels;
+    tr.ckksSpecial = p.specialLimbs;
+    tr.ckksDnum = p.dnum;
+    tr.ckksLimbBits = p.scaleBits;
+}
+
+void
+setTfheParams(Trace &tr, const tfhe::TfheParams &p)
+{
+    tr.tfheRingDim = p.ringDim;
+    tr.tfheLweDim = p.lweDim;
+    tr.tfheGadgetLevels = p.gadgetLevels;
+    tr.tfheKsLevels = p.ksLevels;
+    tr.tfheLimbBits = 32;
+}
+
+int
+emitBootstrap(Trace &tr, const ckks::CkksParams &p)
+{
+    const int L = p.levels;
+    const int slots = static_cast<int>(p.ringDim / 2);
+    const int sqrtSlots = static_cast<int>(std::ceil(std::sqrt(slots)));
+    const int bsgs = static_cast<int>(std::ceil(std::sqrt(sqrtSlots)));
+
+    // ModRaise to the full chain.
+    tr.push(OpKind::CkksModRaise, L);
+
+    // CoeffToSlot: homomorphic DFT as ~log-depth BSGS linear transforms.
+    // Three radix-sqrt stages, each 2*sqrt(r) rotations + r plaintext
+    // multiplies, consuming one level per stage.
+    int limbs = L;
+    for (int stage = 0; stage < 3 && limbs > 3; ++stage) {
+        tr.push(OpKind::CkksRotate, limbs, 2 * bsgs, 0, stage * 64 + 1);
+        tr.push(OpKind::CkksMultPlain, limbs, 2 * bsgs);
+        tr.push(OpKind::CkksAdd, limbs, 2 * bsgs);
+        tr.push(OpKind::CkksRescale, limbs);
+        --limbs;
+    }
+    tr.push(OpKind::CkksConjugate, limbs);
+
+    // EvalMod: degree-31 Chebyshev sine approximation plus double-angle
+    // steps; about 9 multiplicative levels.
+    for (int lvl = 0; lvl < 9 && limbs > 2; ++lvl) {
+        tr.push(OpKind::CkksMult, limbs, 2);
+        tr.push(OpKind::CkksAdd, limbs, 2);
+        tr.push(OpKind::CkksRescale, limbs, 2);
+        --limbs;
+    }
+
+    // SlotToCoeff: inverse linear transform, three more stages.
+    for (int stage = 0; stage < 3 && limbs > 1; ++stage) {
+        tr.push(OpKind::CkksRotate, limbs, 2 * bsgs, 0, stage * 64 + 33);
+        tr.push(OpKind::CkksMultPlain, limbs, 2 * bsgs);
+        tr.push(OpKind::CkksAdd, limbs, 2 * bsgs);
+        tr.push(OpKind::CkksRescale, limbs);
+        --limbs;
+    }
+    return limbs;
+}
+
+Trace
+helr(const ckks::CkksParams &p, int iterations)
+{
+    Trace tr;
+    tr.name = "HELR";
+    setCkksParams(tr, p);
+    tr.liveCiphertexts = 12;
+
+    int limbs = p.levels;
+    for (int it = 0; it < iterations; ++it) {
+        // One mini-batch iteration: inner products over 256 features
+        // (log-rotate-and-add), sigmoid via a degree-3 polynomial, and
+        // the gradient update — about 4 multiplicative levels.
+        if (limbs < 6)
+            limbs = emitBootstrap(tr, p);
+
+        // X^T * w : rotation tree over the feature dimension.
+        tr.push(OpKind::CkksMultPlain, limbs, 1);
+        tr.push(OpKind::CkksRotate, limbs, 8, 0, 1);
+        tr.push(OpKind::CkksAdd, limbs, 8);
+        tr.push(OpKind::CkksRescale, limbs);
+        --limbs;
+
+        // Degree-3 sigmoid approximation: 2 levels.
+        tr.push(OpKind::CkksMult, limbs, 2);
+        tr.push(OpKind::CkksAdd, limbs, 2);
+        tr.push(OpKind::CkksRescale, limbs, 2);
+        --limbs;
+        tr.push(OpKind::CkksMult, limbs, 1);
+        tr.push(OpKind::CkksRescale, limbs);
+        --limbs;
+
+        // Gradient aggregation across the batch (rotation tree) and the
+        // weight update.
+        tr.push(OpKind::CkksMult, limbs, 1);
+        tr.push(OpKind::CkksRotate, limbs, 10, 0, 2);
+        tr.push(OpKind::CkksAdd, limbs, 10);
+        tr.push(OpKind::CkksRescale, limbs);
+        --limbs;
+        tr.push(OpKind::CkksAdd, limbs, 1);
+    }
+    return tr;
+}
+
+Trace
+resnet20(const ckks::CkksParams &p)
+{
+    Trace tr;
+    tr.name = "ResNet-20";
+    setCkksParams(tr, p);
+    tr.liveCiphertexts = 12;
+
+    int limbs = p.levels;
+    // 3 stages x 3 residual blocks x 2 conv layers + stem + head.
+    const int convLayers = 19;
+    for (int layer = 0; layer < convLayers; ++layer) {
+        const int channels = layer < 7 ? 16 : (layer < 13 ? 32 : 64);
+        // im2col-style convolution: 9 kernel taps, rotations gather the
+        // neighborhood, channel accumulation via rotate-and-add.
+        const int rotations = 9 + static_cast<int>(std::log2(channels));
+        if (limbs < 5)
+            limbs = emitBootstrap(tr, p);
+
+        tr.push(OpKind::CkksRotate, limbs, rotations, 0, layer + 1);
+        tr.push(OpKind::CkksMultPlain, limbs, 9 * 2);
+        tr.push(OpKind::CkksAdd, limbs, 9 * 2);
+        tr.push(OpKind::CkksRescale, limbs);
+        --limbs;
+
+        // Approximated ReLU: degree-7 composite polynomial, 3 levels.
+        for (int d = 0; d < 3; ++d) {
+            if (limbs < 3)
+                limbs = emitBootstrap(tr, p);
+            tr.push(OpKind::CkksMult, limbs, 2);
+            tr.push(OpKind::CkksAdd, limbs, 2);
+            tr.push(OpKind::CkksRescale, limbs, 2);
+            --limbs;
+        }
+    }
+    // Average pool + fully connected head.
+    tr.push(OpKind::CkksRotate, limbs, 6, 0, 90);
+    tr.push(OpKind::CkksAdd, limbs, 6);
+    tr.push(OpKind::CkksMultPlain, limbs, 1);
+    tr.push(OpKind::CkksRescale, limbs);
+    return tr;
+}
+
+Trace
+sorting(const ckks::CkksParams &p, int elements)
+{
+    Trace tr;
+    tr.name = "Sorting";
+    setCkksParams(tr, p);
+    tr.liveCiphertexts = 12;
+
+    const int logE = static_cast<int>(std::round(std::log2(elements)));
+    int limbs = p.levels;
+    // Bitonic network: logE*(logE+1)/2 compare-exchange stages.  Each
+    // stage evaluates an approximate-sign polynomial (depth ~4) and the
+    // conditional swap (1 level), over rotated partner elements.
+    for (int i = 0; i < logE; ++i) {
+        for (int j = 0; j <= i; ++j) {
+            if (limbs < 7)
+                limbs = emitBootstrap(tr, p);
+            tr.push(OpKind::CkksRotate, limbs, 2, 0, i * logE + j + 1);
+            tr.push(OpKind::CkksAdd, limbs, 2);
+            // sign(x) composite approximation: 4 levels of squaring.
+            for (int d = 0; d < 4; ++d) {
+                tr.push(OpKind::CkksMult, limbs, 1);
+                tr.push(OpKind::CkksAdd, limbs, 1);
+                tr.push(OpKind::CkksRescale, limbs);
+                --limbs;
+            }
+            // Conditional swap: one multiply level, two outputs.
+            tr.push(OpKind::CkksMult, limbs, 2);
+            tr.push(OpKind::CkksAdd, limbs, 2);
+            tr.push(OpKind::CkksRescale, limbs, 2);
+            --limbs;
+        }
+    }
+    return tr;
+}
+
+Trace
+ckksBootstrapping(const ckks::CkksParams &p, int repeats)
+{
+    Trace tr;
+    tr.name = "Bootstrapping";
+    setCkksParams(tr, p);
+    tr.liveCiphertexts = 12;
+    for (int i = 0; i < repeats; ++i) {
+        const int out = emitBootstrap(tr, p);
+        // Burn the recovered levels with squarings, as the 30-level
+        // benchmark of Section VI-D1 does.
+        for (int limbs = out; limbs > 1; --limbs) {
+            tr.push(OpKind::CkksMult, limbs, 1);
+            tr.push(OpKind::CkksRescale, limbs);
+        }
+    }
+    return tr;
+}
+
+Trace
+pbsThroughput(const tfhe::TfheParams &p, int count)
+{
+    Trace tr;
+    tr.name = "PBS-" + p.name;
+    setTfheParams(tr, p);
+    tr.push(OpKind::TfhePbs, 0, count);
+    return tr;
+}
+
+Trace
+tfheNn(const tfhe::TfheParams &p, int layers, int neurons)
+{
+    Trace tr;
+    tr.name = "NN-" + p.name;
+    setTfheParams(tr, p);
+    for (int l = 0; l < layers; ++l) {
+        // Dense layer: weighted sums over the previous layer's outputs
+        // (plaintext weights), then one PBS activation per neuron.
+        tr.push(OpKind::TfheLinear, 0, neurons, neurons);
+        tr.push(OpKind::TfhePbs, 0, neurons);
+    }
+    return tr;
+}
+
+Trace
+hybridKnn(const ckks::CkksParams &cp, const tfhe::TfheParams &tp,
+          int points, int features, int k)
+{
+    Trace tr;
+    tr.name = "kNN-" + tp.name;
+    setCkksParams(tr, cp);
+    setTfheParams(tr, tp);
+    tr.liveCiphertexts = 16;
+
+    // Phase 1 (CKKS): squared distances ||x - p_i||^2 for the whole
+    // database.  points x features values span several full ciphertexts;
+    // each needs the difference, a square, and a rotation tree over the
+    // feature dimension, followed by a bootstrap to refresh levels for
+    // the masking rounds (Cong et al. evaluate the distance and selection
+    // arithmetic in the SIMD scheme).
+    int limbs = cp.levels;
+    const int logF = static_cast<int>(std::round(std::log2(features)));
+    const int ctBatches = std::max<int>(
+        1, static_cast<int>((static_cast<u64>(points) * features) /
+                            (cp.ringDim / 2)));
+    for (int b = 0; b < ctBatches; ++b) {
+        tr.push(OpKind::CkksAdd, limbs, 2);
+        tr.push(OpKind::CkksMult, limbs, 1);
+        tr.push(OpKind::CkksRescale, limbs);
+        tr.push(OpKind::CkksRotate, limbs - 1, logF, 0, b + 1);
+        tr.push(OpKind::CkksAdd, limbs - 1, logF);
+    }
+    limbs -= 1;
+    // Compact the per-point distances into one ciphertext (mask + align).
+    tr.push(OpKind::CkksMultPlain, limbs, ctBatches);
+    tr.push(OpKind::CkksRotate, limbs, ctBatches, 0, 40);
+    tr.push(OpKind::CkksAdd, limbs, ctBatches);
+    tr.push(OpKind::CkksRescale, limbs);
+    --limbs;
+    limbs = emitBootstrap(tr, cp);
+
+    // CKKS pre-filter: approximate threshold comparisons prune the
+    // candidate set in the SIMD domain (this bulk filtering is why the
+    // hybrid approach beats running everything in the logic scheme); only
+    // the surviving `candidates` move to exact TFHE comparisons.
+    const int candidates = std::min(points, 32 * k);
+    for (int round = 0; round < 2; ++round) {
+        for (int d = 0; d < 3; ++d) {
+            tr.push(OpKind::CkksMult, limbs, 1);
+            tr.push(OpKind::CkksAdd, limbs, 1);
+            tr.push(OpKind::CkksRescale, limbs);
+            --limbs;
+        }
+        tr.push(OpKind::CkksMultPlain, limbs, 2);
+        tr.push(OpKind::CkksRotate, limbs, 4, 0, 44 + round);
+        tr.push(OpKind::CkksAdd, limbs, 4);
+        if (limbs < 6)
+            limbs = emitBootstrap(tr, cp);
+    }
+
+    // Phase 2 (switch): SlotToCoeff moves distances into coefficients,
+    // then the LWEU extracts one LWE per candidate (Figure 1's
+    // extraction path), with a modulus switch to the logic parameters.
+    const int sqrtSlots = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(cp.ringDim / 2))));
+    const int bsgs = static_cast<int>(std::ceil(std::sqrt(sqrtSlots)));
+    for (int stage = 0; stage < 3 && limbs > 2; ++stage) {
+        tr.push(OpKind::CkksRotate, limbs, 2 * bsgs, 0, stage * 64 + 7);
+        tr.push(OpKind::CkksMultPlain, limbs, 2 * bsgs);
+        tr.push(OpKind::CkksAdd, limbs, 2 * bsgs);
+        tr.push(OpKind::CkksRescale, limbs);
+        --limbs;
+    }
+    tr.push(OpKind::SwitchExtract, limbs, candidates);
+    tr.push(OpKind::TfheModSwitch, 0, candidates);
+
+    // Phase 3 (TFHE): oblivious top-k tournament — pairwise comparisons
+    // via sign PBS and MUX selection of the winners each round.  The
+    // message space grows with the ring dimension, so small parameter
+    // sets need digit-chained comparisons (several PBS per compare) while
+    // T4-sized rings compare full-precision distances in one shot — the
+    // reason the paper sweeps T1-T4 for this workload.
+    const int pbsPerCompare =
+        tp.ringDim >= (1u << 14) ? 1 : (tp.ringDim >= (1u << 11) ? 2 : 3);
+    int remaining = candidates;
+    while (remaining > k) {
+        const int comparisons = remaining / 2;
+        tr.push(OpKind::TfheLinear, 0, comparisons, 2);
+        tr.push(OpKind::TfhePbs, 0, comparisons * pbsPerCompare);
+        tr.push(OpKind::TfheLinear, 0, comparisons, 3);
+        remaining = (remaining + 1) / 2;
+    }
+
+    // Phase 4 (switch): repack the k selected labels into CKKS; the
+    // Pegasus-style repack is a BSGS linear transform plus an EvalMod to
+    // clean the phase, i.e. close to a light bootstrap.
+    tr.push(OpKind::SwitchRepack, std::max(2, limbs), k);
+    int rlimbs = std::max(3, limbs);
+    for (int lvl = 0; lvl < 6 && rlimbs > 2; ++lvl) {
+        tr.push(OpKind::CkksMult, rlimbs, 2);
+        tr.push(OpKind::CkksAdd, rlimbs, 2);
+        tr.push(OpKind::CkksRescale, rlimbs, 2);
+        --rlimbs;
+    }
+    return tr;
+}
+
+std::vector<Trace>
+ckksSuite(const ckks::CkksParams &p)
+{
+    return {helr(p), resnet20(p), sorting(p), ckksBootstrapping(p)};
+}
+
+std::vector<Trace>
+tfheSuite(const tfhe::TfheParams &p)
+{
+    return {pbsThroughput(p), tfheNn(p)};
+}
+
+} // namespace workloads
+} // namespace ufc

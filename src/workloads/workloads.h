@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Workload trace generators (paper Section VI-D).
+ *
+ * Each generator emits the ciphertext-granularity operation stream of one
+ * evaluated program, with level (limb-count) tracking so key-switching
+ * costs shrink as rescaling consumes the modulus chain, and bootstraps
+ * fire when levels run out — the behaviour the hardware actually sees.
+ */
+
+#ifndef UFC_WORKLOADS_WORKLOADS_H
+#define UFC_WORKLOADS_WORKLOADS_H
+
+#include "ckks/params.h"
+#include "tfhe/params.h"
+#include "trace/trace.h"
+
+namespace ufc {
+namespace workloads {
+
+/** Attach CKKS parameters to a trace header. */
+void setCkksParams(trace::Trace &tr, const ckks::CkksParams &p);
+/** Attach TFHE parameters to a trace header. */
+void setTfheParams(trace::Trace &tr, const tfhe::TfheParams &p);
+
+/**
+ * Homomorphic logistic regression training (HELR, Han et al.): 30
+ * iterations over 1024-sample x 256-feature batches, with bootstrapping
+ * whenever the multiplicative budget runs out.
+ */
+trace::Trace helr(const ckks::CkksParams &p, int iterations = 30);
+
+/**
+ * ResNet-20 inference on one CIFAR-10 image (Lee et al.): 20 convolution
+ * layers with approximated ReLU between them, bootstrapping per block.
+ */
+trace::Trace resnet20(const ckks::CkksParams &p);
+
+/**
+ * 2-way bitonic sorting of 16384 packed elements (Hong et al.): log^2
+ * compare-exchange stages, each stage an approximate-sign evaluation.
+ */
+trace::Trace sorting(const ckks::CkksParams &p, int elements = 16384);
+
+/** Repeated full CKKS bootstrapping (Han-Ki style, 30 output levels). */
+trace::Trace ckksBootstrapping(const ckks::CkksParams &p, int repeats = 1);
+
+/** TFHE functional-bootstrapping throughput: `count` independent PBS. */
+trace::Trace pbsThroughput(const tfhe::TfheParams &p, int count = 1024);
+
+/**
+ * ZAMA-style NN inference with programmable bootstrapping: `layers`
+ * dense layers of `neurons` neurons, one PBS per activation.
+ */
+trace::Trace tfheNn(const tfhe::TfheParams &p, int layers = 20,
+                    int neurons = 256);
+
+/**
+ * Hybrid k-NN classification (Cong et al.): CKKS distance computation
+ * over `points` database entries with `features` dimensions, extraction
+ * to LWE, TFHE comparison/top-k selection, and repacking of the result.
+ */
+trace::Trace hybridKnn(const ckks::CkksParams &cp,
+                       const tfhe::TfheParams &tp, int points = 4096,
+                       int features = 128, int k = 8);
+
+/** All SIMD-scheme workloads evaluated in Figure 10(a). */
+std::vector<trace::Trace> ckksSuite(const ckks::CkksParams &p);
+/** All logic-scheme workloads evaluated in Figure 10(b). */
+std::vector<trace::Trace> tfheSuite(const tfhe::TfheParams &p);
+
+/**
+ * CKKS bootstrap expansion helper shared by the generators: emits
+ * ModRaise + CoeffToSlot + EvalMod + SlotToCoeff at the given parameters
+ * and returns the limb count available after the bootstrap.
+ */
+int emitBootstrap(trace::Trace &tr, const ckks::CkksParams &p);
+
+} // namespace workloads
+} // namespace ufc
+
+#endif // UFC_WORKLOADS_WORKLOADS_H

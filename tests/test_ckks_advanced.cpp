@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the advanced CKKS machinery: BSGS linear transforms and
+ * homomorphic Chebyshev evaluation — the building blocks of
+ * bootstrapping and of the paper's SIMD workloads.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ckks/chebyshev.h"
+#include "ckks/linear_transform.h"
+#include "ckks/poly_eval.h"
+
+namespace ufc {
+namespace ckks {
+namespace {
+
+struct AdvFixture : public ::testing::Test
+{
+    AdvFixture()
+        : ctx(makeParams()), encoder(&ctx), rng(555), keygen(&ctx, rng),
+          encryptor(&ctx, &keygen.secretKey(), rng), eval(&ctx),
+          relin(keygen.makeRelinKey()), keys(&keygen)
+    {}
+
+    static CkksParams
+    makeParams()
+    {
+        // Deeper chain for polynomial evaluation, small ring for speed.
+        CkksParams p;
+        p.name = "ADV";
+        p.ringDim = 1ULL << 11;
+        p.levels = 12;
+        p.dnum = 4;
+        p.specialLimbs = 3;
+        p.firstModBits = 55;
+        p.scaleBits = 40;
+        p.specialBits = 55;
+        return p;
+    }
+
+    CkksContext ctx;
+    CkksEncoder encoder;
+    Rng rng;
+    CkksKeyGenerator keygen;
+    CkksEncryptor encryptor;
+    CkksEvaluator eval;
+    EvalKey relin;
+    RotationKeySet keys;
+};
+
+TEST(Chebyshev, InterpolationApproximatesSmoothFunctions)
+{
+    auto coeffs = chebyshevInterpolate(
+        [](double x) { return std::sin(x); }, -3.0, 3.0, 31);
+    for (double x = -3.0; x <= 3.0; x += 0.1) {
+        const double u = x / 3.0;
+        EXPECT_NEAR(chebyshevEval(coeffs, u), std::sin(x), 1e-9);
+    }
+}
+
+TEST(Chebyshev, DivisionIdentityHolds)
+{
+    Rng rng(3);
+    std::vector<double> p(48);
+    for (auto &c : p)
+        c = 2.0 * rng.uniformReal() - 1.0;
+
+    for (int m : {4, 8, 16, 32}) {
+        auto [q, r] = chebyshevDivide(p, m);
+        EXPECT_LT(chebyshevDegree(r), m);
+        // p(u) == q(u)*T_m(u) + r(u) pointwise.
+        for (double u = -1.0; u <= 1.0; u += 0.05) {
+            const double tm = std::cos(m * std::acos(
+                std::clamp(u, -1.0, 1.0)));
+            EXPECT_NEAR(chebyshevEval(p, u),
+                        chebyshevEval(q, u) * tm + chebyshevEval(r, u),
+                        1e-9)
+                << "m=" << m << " u=" << u;
+        }
+    }
+}
+
+TEST_F(AdvFixture, LinearTransformMatchesPlaintextMatVec)
+{
+    const size_t n = ctx.slots();
+    // A sparse band matrix (5 diagonals) with complex entries.
+    std::map<int, std::vector<cplx>> diagonals;
+    Rng r(7);
+    for (int d : {0, 1, 2, static_cast<int>(n) - 1, 17}) {
+        std::vector<cplx> diag(n);
+        for (auto &x : diag)
+            x = cplx(r.uniformReal() - 0.5, r.uniformReal() - 0.5);
+        diagonals.emplace(d, std::move(diag));
+    }
+    LinearTransform lt(&ctx, &encoder, diagonals, ctx.scale());
+
+    std::vector<cplx> x(n);
+    for (auto &v : x)
+        v = cplx(r.uniformReal() - 0.5, r.uniformReal() - 0.5);
+    auto ct = encryptor.encrypt(encoder.encode(x, 6, ctx.scale()));
+
+    auto out = eval.rescale(lt.apply(eval, ct, keys));
+    auto got = encoder.decode(encryptor.decrypt(out));
+
+    for (size_t j = 0; j < n; ++j) {
+        cplx expect(0.0, 0.0);
+        for (const auto &[d, diag] : diagonals)
+            expect += diag[j] * x[(j + d) % n];
+        EXPECT_NEAR(std::abs(got[j] - expect), 0.0, 1e-4) << "slot " << j;
+    }
+}
+
+TEST_F(AdvFixture, DenseLinearTransformFromMatrix)
+{
+    // Small dense matrix acting on the first 8 slots (identity on rest
+    // omitted: matrix rows beyond 8 are zero).
+    const size_t n = ctx.slots();
+    Rng r(11);
+    std::vector<std::vector<cplx>> matrix(n, std::vector<cplx>(n));
+    for (size_t j = 0; j < 8; ++j)
+        for (size_t l = 0; l < 8; ++l)
+            matrix[j][l] = cplx(r.uniformReal() - 0.5, 0.0);
+
+    auto lt = LinearTransform::fromMatrix(&ctx, &encoder, matrix,
+                                          ctx.scale());
+    std::vector<cplx> x(n, cplx(0.0, 0.0));
+    for (size_t l = 0; l < 8; ++l)
+        x[l] = cplx(0.25 * (l + 1), 0.0);
+    auto ct = encryptor.encrypt(encoder.encode(x, 6, ctx.scale()));
+    auto out = eval.rescale(lt.apply(eval, ct, keys));
+    auto got = encoder.decode(encryptor.decrypt(out));
+
+    for (size_t j = 0; j < 8; ++j) {
+        cplx expect(0.0, 0.0);
+        for (size_t l = 0; l < 8; ++l)
+            expect += matrix[j][l] * x[l];
+        EXPECT_NEAR(std::abs(got[j] - expect), 0.0, 1e-4) << "slot " << j;
+    }
+}
+
+TEST_F(AdvFixture, HomomorphicChebyshevLowDegree)
+{
+    // f(u) = T_2(u) combination: p(u) = 0.5 + 0.25 T_1 - 0.125 T_3.
+    ChebyshevEvaluator cheb(&ctx, &encoder, &eval, &relin);
+    std::vector<double> coeffs = {0.5, 0.25, 0.0, -0.125};
+
+    const size_t n = ctx.slots();
+    std::vector<double> u(n);
+    Rng r(13);
+    for (auto &v : u)
+        v = 2.0 * r.uniformReal() - 1.0;
+    auto ct = encryptor.encrypt(encoder.encode(u, ctx.levels(),
+                                               ctx.scale()));
+    auto out = cheb.evaluate(ct, coeffs);
+    auto got = encoder.decode(encryptor.decrypt(out));
+    for (size_t j = 0; j < n; ++j)
+        EXPECT_NEAR(got[j].real(), chebyshevEval(coeffs, u[j]), 1e-3)
+            << "slot " << j;
+}
+
+TEST_F(AdvFixture, HomomorphicSineDegree31)
+{
+    // The bootstrapping workhorse: sin over several periods.
+    ChebyshevEvaluator cheb(&ctx, &encoder, &eval, &relin);
+    const size_t n = ctx.slots();
+    std::vector<double> x(n);
+    Rng r(17);
+    for (auto &v : x)
+        v = 6.0 * r.uniformReal() - 3.0;
+    auto ct = encryptor.encrypt(encoder.encode(x, ctx.levels(),
+                                               ctx.scale()));
+    auto out = cheb.evaluateFunction(
+        ct, [](double v) { return std::sin(v); }, -3.0, 3.0, 31);
+    auto got = encoder.decode(encryptor.decrypt(out));
+    double worst = 0.0;
+    for (size_t j = 0; j < n; ++j)
+        worst = std::max(worst, std::abs(got[j].real() - std::sin(x[j])));
+    EXPECT_LT(worst, 5e-3);
+}
+
+} // namespace
+} // namespace ckks
+} // namespace ufc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * End-to-end test of CKKS bootstrapping: a ciphertext exhausted to the
+ * last level is refreshed and remains correct, with enough recovered
+ * budget to keep computing.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ckks/bootstrap.h"
+
+namespace ufc {
+namespace ckks {
+namespace {
+
+CkksParams
+bootParams()
+{
+    // Test-size ring (not a secure parameter set; see README).
+    CkksParams p;
+    p.name = "BOOT";
+    p.ringDim = 1ULL << 11;
+    p.levels = 20;
+    p.dnum = 5;
+    p.specialLimbs = 4;
+    // Bootstrapping wants large scale primes (noise headroom through
+    // EvalMod) and a q0 well above the scale (sine linearity).
+    p.firstModBits = 59;
+    p.scaleBits = 50;
+    p.specialBits = 59;
+    p.secretHamming = 16;
+    return p;
+}
+
+TEST(CkksBootstrap, RefreshesExhaustedCiphertext)
+{
+    CkksContext ctx(bootParams());
+    CkksEncoder encoder(&ctx);
+    Rng rng(20240707);
+    CkksKeyGenerator keygen(&ctx, rng);
+    CkksEncryptor encryptor(&ctx, &keygen.secretKey(), rng);
+    CkksEvaluator eval(&ctx);
+    CkksBootstrapper boot(&ctx, &encoder, &eval, &keygen,
+                          /*rangeK=*/6, /*sineDegree=*/119);
+
+    const size_t n = ctx.slots();
+    std::vector<double> values(n);
+    for (size_t i = 0; i < n; ++i)
+        values[i] = 0.8 * std::sin(0.37 * static_cast<double>(i));
+
+    // Encrypt directly at the last level, as if a computation had
+    // exhausted the chain.
+    auto ct = encryptor.encrypt(encoder.encode(values, 1, ctx.scale()));
+    ASSERT_EQ(ct.limbs, 1);
+
+    auto refreshed = boot.bootstrap(ct);
+    EXPECT_GE(refreshed.limbs, 6) << "no multiplicative budget recovered";
+
+    auto decoded = encoder.decode(encryptor.decrypt(refreshed));
+    double worst = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        worst = std::max(worst,
+                         std::abs(decoded[i].real() - values[i]));
+    EXPECT_LT(worst, 1e-4);
+
+    // The refreshed ciphertext must support further computation.
+    auto relin = keygen.makeRelinKey();
+    auto sq = eval.rescale(eval.square(refreshed, relin));
+    auto sqDec = encoder.decode(encryptor.decrypt(sq));
+    double sqWorst = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        sqWorst = std::max(sqWorst, std::abs(sqDec[i].real() -
+                                             values[i] * values[i]));
+    EXPECT_LT(sqWorst, 1e-3);
+}
+
+} // namespace
+} // namespace ckks
+} // namespace ufc

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Edge cases and failure injection: API misuse must fail loudly (panics
+ * with clear messages), boundary parameters must work, and corrupted
+ * ciphertexts must not decrypt to valid-looking data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ckks/evaluator.h"
+#include "math/cg_ntt.h"
+#include "math/primes.h"
+#include "tfhe/gates.h"
+
+namespace ufc {
+namespace {
+
+// ---------------------------------------------------------------------
+// API misuse dies with diagnostics instead of corrupting data.
+// ---------------------------------------------------------------------
+
+TEST(FailureInjection, MismatchedPolynomialFormsPanic)
+{
+    RingContext ring(64);
+    const u64 q = findNttPrime(40, 128);
+    Poly a(&ring.table(q), PolyForm::Coeff);
+    Poly b(&ring.table(q), PolyForm::Eval);
+    EXPECT_DEATH({ a.addInPlace(b); }, "form");
+}
+
+TEST(FailureInjection, EvalFormMultiplyRequiresEvalForm)
+{
+    RingContext ring(64);
+    const u64 q = findNttPrime(40, 128);
+    Poly a(&ring.table(q), PolyForm::Coeff);
+    Poly b(&ring.table(q), PolyForm::Coeff);
+    EXPECT_DEATH({ a.mulEvalInPlace(b); }, "Eval");
+}
+
+TEST(FailureInjection, EvenAutomorphismIndexPanics)
+{
+    RingContext ring(64);
+    const u64 q = findNttPrime(40, 128);
+    Poly a(&ring.table(q), PolyForm::Coeff);
+    EXPECT_DEATH({ (void)a.automorphism(4); }, "odd");
+}
+
+TEST(FailureInjection, NonNttFriendlyModulusRejected)
+{
+    // 2^32 + 1 is not ~1 mod 2N for N = 1024 (and not prime).
+    EXPECT_DEATH({ NttTable t(1024, (1ULL << 32) + 2); },
+                 "NTT-friendly");
+}
+
+TEST(FailureInjection, CkksScaleMismatchPanicsOnAdd)
+{
+    ckks::CkksContext ctx(ckks::CkksParams::testFast());
+    ckks::CkksEncoder enc(&ctx);
+    Rng rng(1);
+    ckks::CkksKeyGenerator kg(&ctx, rng);
+    ckks::CkksEncryptor encryptor(&ctx, &kg.secretKey(), rng);
+    ckks::CkksEvaluator eval(&ctx);
+
+    std::vector<double> v(4, 1.0);
+    auto a = encryptor.encrypt(enc.encode(v, 2, ctx.scale()));
+    auto b = encryptor.encrypt(enc.encode(v, 2, 2.0 * ctx.scale()));
+    EXPECT_DEATH({ (void)eval.add(a, b); }, "scale");
+}
+
+TEST(FailureInjection, CkksLevelMismatchPanicsOnAdd)
+{
+    ckks::CkksContext ctx(ckks::CkksParams::testFast());
+    ckks::CkksEncoder enc(&ctx);
+    Rng rng(2);
+    ckks::CkksKeyGenerator kg(&ctx, rng);
+    ckks::CkksEncryptor encryptor(&ctx, &kg.secretKey(), rng);
+    ckks::CkksEvaluator eval(&ctx);
+
+    std::vector<double> v(4, 1.0);
+    auto a = encryptor.encrypt(enc.encode(v, 3, ctx.scale()));
+    auto b = encryptor.encrypt(enc.encode(v, 2, ctx.scale()));
+    EXPECT_DEATH({ (void)eval.add(a, b); }, "level");
+}
+
+TEST(FailureInjection, RescaleAtLastLevelPanics)
+{
+    ckks::CkksContext ctx(ckks::CkksParams::testFast());
+    ckks::CkksEncoder enc(&ctx);
+    Rng rng(3);
+    ckks::CkksKeyGenerator kg(&ctx, rng);
+    ckks::CkksEncryptor encryptor(&ctx, &kg.secretKey(), rng);
+    ckks::CkksEvaluator eval(&ctx);
+
+    auto ct = encryptor.encrypt(
+        enc.encode(std::vector<double>{1.0}, 1, ctx.scale()));
+    EXPECT_DEATH({ (void)eval.rescale(ct); }, "last level");
+}
+
+TEST(FailureInjection, CorruptedCiphertextDecryptsToGarbage)
+{
+    // Flipping ciphertext words must destroy the plaintext (sanity check
+    // that decryption really depends on all components).
+    auto params = tfhe::TfheParams::testFast();
+    Rng rng(4);
+    auto key = tfhe::LweSecretKey::generate(params.lweDim, rng);
+    const u64 t = 256; // fine-grained space so corruption is visible
+    auto ct = tfhe::lweEncrypt(tfhe::lweEncode(7, params.q, t), key,
+                               params, rng);
+    ct.b = addMod(ct.b, params.q / 2, params.q);
+    EXPECT_NE(tfhe::lweDecrypt(ct, key, t), 7u);
+}
+
+TEST(FailureInjection, WrongKeyDoesNotDecrypt)
+{
+    auto params = tfhe::TfheParams::testFast();
+    Rng rng(5);
+    auto key = tfhe::LweSecretKey::generate(params.lweDim, rng);
+    auto wrong = tfhe::LweSecretKey::generate(params.lweDim, rng);
+    int agree = 0;
+    const u64 t = 256;
+    for (u64 m = 0; m < 16; ++m) {
+        auto ct = tfhe::lweEncrypt(tfhe::lweEncode(m, params.q, t), key,
+                                   params, rng);
+        if (tfhe::lweDecrypt(ct, wrong, t) == m)
+            ++agree;
+    }
+    EXPECT_LE(agree, 2); // chance collisions only
+}
+
+// ---------------------------------------------------------------------
+// Boundary parameters.
+// ---------------------------------------------------------------------
+
+TEST(EdgeCases, SmallestRingWorks)
+{
+    const u64 q = findNttPrime(30, 4);
+    NttTable ntt(2, q);
+    std::vector<u64> a = {5, 9};
+    auto b = a;
+    ntt.forward(b);
+    ntt.inverse(b);
+    EXPECT_EQ(a, b);
+}
+
+TEST(EdgeCases, SingleLimbCkksArithmetic)
+{
+    ckks::CkksContext ctx(ckks::CkksParams::testFast());
+    ckks::CkksEncoder enc(&ctx);
+    Rng rng(6);
+    ckks::CkksKeyGenerator kg(&ctx, rng);
+    ckks::CkksEncryptor encryptor(&ctx, &kg.secretKey(), rng);
+    ckks::CkksEvaluator eval(&ctx);
+
+    std::vector<double> v(8, 0.25);
+    auto a = encryptor.encrypt(enc.encode(v, 1, ctx.scale()));
+    auto sum = eval.add(a, a);
+    auto dec = enc.decode(encryptor.decrypt(sum));
+    EXPECT_NEAR(dec[0].real(), 0.5, 1e-6);
+}
+
+TEST(EdgeCases, RotationByZeroIsIdentityCost)
+{
+    // rotate(ct, 0) uses k = 1 (the identity automorphism) and must
+    // return the same plaintext.
+    ckks::CkksContext ctx(ckks::CkksParams::testFast());
+    ckks::CkksEncoder enc(&ctx);
+    Rng rng(7);
+    ckks::CkksKeyGenerator kg(&ctx, rng);
+    ckks::CkksEncryptor encryptor(&ctx, &kg.secretKey(), rng);
+    ckks::CkksEvaluator eval(&ctx);
+
+    std::vector<double> v(ctx.slots());
+    for (size_t i = 0; i < v.size(); ++i)
+        v[i] = 0.001 * static_cast<double>(i % 97);
+    auto ct = encryptor.encrypt(enc.encode(v, 2, ctx.scale()));
+    auto rot = eval.rotate(ct, 0, kg.makeRotationKey(0));
+    auto dec = enc.decode(encryptor.decrypt(rot));
+    for (size_t i = 0; i < v.size(); ++i)
+        EXPECT_NEAR(dec[i].real(), v[i], 1e-5);
+}
+
+TEST(EdgeCases, FullSlotRotationWrapsAround)
+{
+    ckks::CkksContext ctx(ckks::CkksParams::testFast());
+    ckks::CkksEncoder enc(&ctx);
+    Rng rng(8);
+    ckks::CkksKeyGenerator kg(&ctx, rng);
+    ckks::CkksEncryptor encryptor(&ctx, &kg.secretKey(), rng);
+    ckks::CkksEvaluator eval(&ctx);
+
+    const int n = static_cast<int>(ctx.slots());
+    std::vector<double> v(n);
+    for (int i = 0; i < n; ++i)
+        v[i] = 0.01 * (i % 13);
+    auto ct = encryptor.encrypt(enc.encode(v, 2, ctx.scale()));
+    // Rotating by n (full circle) is the identity.
+    auto rot = eval.rotate(ct, n, kg.makeRotationKey(n));
+    auto dec = enc.decode(encryptor.decrypt(rot));
+    for (int i = 0; i < n; ++i)
+        EXPECT_NEAR(dec[i].real(), v[i], 1e-5);
+}
+
+TEST(EdgeCases, GateChainSurvivesManyBootstraps)
+{
+    // 16 chained NAND gates: noise must stay bounded because every gate
+    // refreshes (the logic scheme's composability guarantee).
+    auto params = tfhe::TfheParams::testFast();
+    Rng rng(9);
+    auto lweKey = tfhe::LweSecretKey::generate(params.lweDim, rng);
+    RingContext ring(params.ringDim);
+    auto ringKey =
+        tfhe::RlweSecretKey::generate(&ring.table(params.q), rng);
+    tfhe::BootstrapContext bc(params, lweKey, ringKey, rng);
+
+    auto x = tfhe::encryptBit(true, lweKey, params, rng);
+    bool expect = true;
+    for (int i = 0; i < 16; ++i) {
+        x = tfhe::gateNand(bc, x, x); // NAND(x,x) = NOT x
+        expect = !expect;
+        ASSERT_EQ(tfhe::decryptBit(x, lweKey), expect) << "gate " << i;
+    }
+}
+
+} // namespace
+} // namespace ufc

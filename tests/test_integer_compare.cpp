@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for radix-encoded TFHE integers and CKKS approximate comparison.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ckks/compare.h"
+#include "tfhe/integer.h"
+
+namespace ufc {
+namespace {
+
+struct RadixFixture : public ::testing::Test
+{
+    RadixFixture()
+        : params(tfhe::TfheParams::testFast()), rng(77),
+          lweKey(tfhe::LweSecretKey::generate(params.lweDim, rng)),
+          ring(params.ringDim),
+          ringKey(tfhe::RlweSecretKey::generate(&ring.table(params.q),
+                                                rng)),
+          bc(params, lweKey, ringKey, rng), radix(&bc, 2)
+    {}
+
+    tfhe::TfheParams params;
+    Rng rng;
+    tfhe::LweSecretKey lweKey;
+    RingContext ring;
+    tfhe::RlweSecretKey ringKey;
+    tfhe::BootstrapContext bc;
+    tfhe::RadixArithmetic radix;
+};
+
+TEST_F(RadixFixture, EncryptDecryptRoundTrip)
+{
+    for (u64 v : {u64{0}, u64{1}, u64{42}, u64{255}, u64{170}}) {
+        auto ct = radix.encrypt(v, 4, lweKey, params, rng);
+        EXPECT_EQ(radix.decrypt(ct, lweKey), v);
+    }
+}
+
+TEST_F(RadixFixture, AdditionWithCarryPropagation)
+{
+    // 4 digits x 2 bits = 8-bit integers; pick cases that exercise
+    // carries across every digit boundary.
+    const u64 cases[][2] = {{3, 1}, {85, 86}, {170, 85}, {127, 127},
+                            {255 - 170, 170}};
+    for (const auto &c : cases) {
+        auto ca = radix.encrypt(c[0], 4, lweKey, params, rng);
+        auto cb = radix.encrypt(c[1], 4, lweKey, params, rng);
+        auto sum = radix.add(ca, cb);
+        EXPECT_EQ(radix.decrypt(sum, lweKey) & 0xff,
+                  (c[0] + c[1]) & 0xff)
+            << c[0] << " + " << c[1];
+    }
+}
+
+TEST_F(RadixFixture, ScalarMultiplication)
+{
+    auto ct = radix.encrypt(37, 4, lweKey, params, rng);
+    auto tripled = radix.scalarMul(ct, 3);
+    EXPECT_EQ(radix.decrypt(tripled, lweKey) & 0xff, u64{111});
+}
+
+TEST_F(RadixFixture, DigitwiseLutActsAsActivation)
+{
+    // A ReLU-like digit activation: clamp digits above 1 to 1 (a toy
+    // nonlinearity evaluated with one PBS per digit, as in the NN
+    // workloads).
+    std::vector<u64> lut = {0, 1, 1, 1};
+    auto ct = radix.encrypt(0b11100100, 4, lweKey, params, rng);
+    auto out = radix.mapDigits(ct, lut);
+    // digits (LSB first) 0,1,2,3 -> 0,1,1,1.
+    EXPECT_EQ(radix.decrypt(out, lweKey), 0b01010100u);
+}
+
+struct CompareFixture : public ::testing::Test
+{
+    CompareFixture()
+        : ctx(makeParams()), encoder(&ctx), rng(88), keygen(&ctx, rng),
+          encryptor(&ctx, &keygen.secretKey(), rng), eval(&ctx),
+          relin(keygen.makeRelinKey()),
+          cmp(&ctx, &encoder, &eval, &relin)
+    {}
+
+    static ckks::CkksParams
+    makeParams()
+    {
+        ckks::CkksParams p;
+        p.name = "CMP";
+        p.ringDim = 1ULL << 11;
+        p.levels = 20;
+        p.dnum = 5;
+        p.specialLimbs = 4;
+        p.firstModBits = 55;
+        p.scaleBits = 40;
+        p.specialBits = 55;
+        return p;
+    }
+
+    ckks::CkksContext ctx;
+    ckks::CkksEncoder encoder;
+    Rng rng;
+    ckks::CkksKeyGenerator keygen;
+    ckks::CkksEncryptor encryptor;
+    ckks::CkksEvaluator eval;
+    ckks::EvalKey relin;
+    ckks::CkksComparator cmp;
+};
+
+TEST_F(CompareFixture, ApproxSignSeparatesValues)
+{
+    const size_t n = ctx.slots();
+    std::vector<double> v(n);
+    Rng r(3);
+    for (auto &x : v) {
+        // Values bounded away from zero (the sign gap condition: four
+        // contraction rounds converge for |x| >= ~0.5).
+        const double mag = 0.5 + 0.5 * r.uniformReal();
+        x = (r.next() & 1) ? mag : -mag;
+    }
+    auto ct = encryptor.encrypt(encoder.encode(v, ctx.levels(),
+                                               ctx.scale()));
+    auto s = cmp.approxSign(ct, 4);
+    auto dec = encoder.decode(encryptor.decrypt(s));
+    for (size_t i = 0; i < n; ++i) {
+        const double expect = v[i] > 0 ? 1.0 : -1.0;
+        EXPECT_NEAR(dec[i].real(), expect, 0.05) << "x=" << v[i];
+    }
+}
+
+TEST_F(CompareFixture, GreaterThanIndicator)
+{
+    const size_t n = ctx.slots();
+    std::vector<double> a(n), b(n);
+    Rng r(5);
+    for (size_t i = 0; i < n; ++i) {
+        // Pairs with a wide gap (|a-b| >= 1) in randomized order, so the
+        // halved difference stays inside the sign's convergence region.
+        const double hi = 0.2 + 0.8 * r.uniformReal();
+        const double lo = hi - 1.0 - 0.2 * r.uniformReal();
+        if (r.next() & 1) {
+            a[i] = hi;
+            b[i] = std::max(lo, -1.0);
+        } else {
+            a[i] = std::max(lo, -1.0);
+            b[i] = hi;
+        }
+    }
+    auto ca = encryptor.encrypt(encoder.encode(a, ctx.levels(),
+                                               ctx.scale()));
+    auto cb = encryptor.encrypt(encoder.encode(b, ctx.levels(),
+                                               ctx.scale()));
+    auto ind = cmp.greaterThan(ca, cb, 4);
+    auto dec = encoder.decode(encryptor.decrypt(ind));
+    for (size_t i = 0; i < n; ++i) {
+        const double expect = a[i] > b[i] ? 1.0 : 0.0;
+        EXPECT_NEAR(dec[i].real(), expect, 0.05)
+            << "a=" << a[i] << " b=" << b[i];
+    }
+}
+
+} // namespace
+} // namespace ufc

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for word-size modular arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/mod_arith.h"
+#include "math/primes.h"
+
+namespace ufc {
+namespace {
+
+TEST(ModArith, AddSubNegBasics)
+{
+    const u64 q = 17;
+    EXPECT_EQ(addMod(9, 9, q), 1u);
+    EXPECT_EQ(addMod(16, 16, q), 15u);
+    EXPECT_EQ(subMod(3, 9, q), 11u);
+    EXPECT_EQ(subMod(9, 3, q), 6u);
+    EXPECT_EQ(negMod(0, q), 0u);
+    EXPECT_EQ(negMod(5, q), 12u);
+}
+
+TEST(ModArith, MulMatchesNaive)
+{
+    Rng rng(1);
+    const u64 q = findNttPrime(59, 1 << 12);
+    Modulus mod(q);
+    for (int i = 0; i < 2000; ++i) {
+        const u64 a = rng.uniform(q);
+        const u64 b = rng.uniform(q);
+        const u64 expect = static_cast<u64>(
+            (static_cast<u128>(a) * b) % q);
+        EXPECT_EQ(mod.mul(a, b), expect);
+    }
+}
+
+TEST(ModArith, Barrett128ReducesArbitraryValues)
+{
+    Rng rng(2);
+    for (int bits : {30, 45, 59}) {
+        const u64 q = findNttPrime(bits, 1 << 10);
+        Modulus mod(q);
+        for (int i = 0; i < 500; ++i) {
+            const u128 x =
+                (static_cast<u128>(rng.next()) << 64) | rng.next();
+            EXPECT_EQ(mod.reduce(x), static_cast<u64>(x % q));
+        }
+    }
+}
+
+TEST(ModArith, ShoupMulMatchesFullMul)
+{
+    Rng rng(3);
+    const u64 q = findNttPrime(50, 1 << 14);
+    Modulus mod(q);
+    for (int i = 0; i < 1000; ++i) {
+        const u64 w = rng.uniform(q);
+        const u64 wShoup = mod.shoupPrecompute(w);
+        const u64 a = rng.uniform(q);
+        EXPECT_EQ(mod.mulShoup(a, w, wShoup), mod.mul(a, w));
+    }
+}
+
+TEST(ModArith, PowAndInv)
+{
+    const u64 q = findNttPrime(40, 1 << 10);
+    Modulus mod(q);
+    Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+        const u64 a = 1 + rng.uniform(q - 1);
+        const u64 inv = mod.inv(a);
+        EXPECT_EQ(mod.mul(a, inv), 1u);
+        // Fermat: a^(q-1) = 1.
+        EXPECT_EQ(mod.pow(a, q - 1), 1u);
+    }
+}
+
+TEST(Primes, MillerRabinKnownValues)
+{
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_TRUE(isPrime(65537));
+    EXPECT_TRUE(isPrime((1ULL << 61) - 1)); // Mersenne prime
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_FALSE(isPrime(561));        // Carmichael
+    EXPECT_FALSE(isPrime(1ULL << 40));
+    EXPECT_FALSE(isPrime(65539ULL * 65543ULL));
+}
+
+TEST(Primes, NttPrimesHaveRequiredResidue)
+{
+    const u64 twoN = 1ULL << 17; // N = 2^16
+    auto primes = generateNttPrimes(45, twoN, 5);
+    ASSERT_EQ(primes.size(), 5u);
+    for (size_t i = 0; i < primes.size(); ++i) {
+        EXPECT_TRUE(isPrime(primes[i]));
+        EXPECT_EQ(primes[i] % twoN, 1u);
+        EXPECT_LT(primes[i], 1ULL << 45);
+        for (size_t j = i + 1; j < primes.size(); ++j)
+            EXPECT_NE(primes[i], primes[j]);
+    }
+}
+
+TEST(Primes, PrimitiveRootsHaveExactOrder)
+{
+    for (u64 n : {1ULL << 10, 1ULL << 12}) {
+        const u64 q = findNttPrime(32, 2 * n);
+        const u64 w = findPrimitiveRoot(2 * n, q);
+        EXPECT_EQ(powMod(w, 2 * n, q), 1u);
+        EXPECT_EQ(powMod(w, n, q), q - 1); // psi^N = -1 (negacyclic)
+    }
+}
+
+} // namespace
+} // namespace ufc

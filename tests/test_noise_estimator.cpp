@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The noise estimator must upper-bound the noise actually observed by
+ * decryption, while staying within a few orders of magnitude (useful,
+ * not vacuous).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ckks/evaluator.h"
+#include "ckks/noise_estimator.h"
+
+namespace ufc {
+namespace ckks {
+namespace {
+
+struct NoiseFixture : public ::testing::Test
+{
+    NoiseFixture()
+        : ctx(CkksParams::testFast()), encoder(&ctx), rng(321),
+          keygen(&ctx, rng), encryptor(&ctx, &keygen.secretKey(), rng),
+          eval(&ctx), est(&ctx)
+    {}
+
+    double
+    observedError(const Ciphertext &ct, const std::vector<double> &expect)
+    {
+        auto dec = encoder.decode(encryptor.decrypt(ct));
+        double worst = 0.0;
+        for (size_t i = 0; i < expect.size(); ++i)
+            worst = std::max(worst,
+                             std::abs(dec[i].real() - expect[i]));
+        return worst;
+    }
+
+    CkksContext ctx;
+    CkksEncoder encoder;
+    Rng rng;
+    CkksKeyGenerator keygen;
+    CkksEncryptor encryptor;
+    CkksEvaluator eval;
+    NoiseEstimator est;
+};
+
+TEST_F(NoiseFixture, FreshBoundHoldsAndIsTight)
+{
+    std::vector<double> v(ctx.slots());
+    for (size_t i = 0; i < v.size(); ++i)
+        v[i] = std::sin(0.01 * i);
+    auto ct = encryptor.encrypt(encoder.encode(v, ctx.levels(),
+                                               ctx.scale()));
+    const double observed = observedError(ct, v);
+    const double predicted = est.fresh(ctx.scale());
+    EXPECT_GE(predicted, observed);
+    EXPECT_LT(predicted, 1e5 * observed + 1e-9); // not vacuous
+}
+
+TEST_F(NoiseFixture, MultiplyBoundHolds)
+{
+    auto relin = keygen.makeRelinKey();
+    std::vector<double> a(ctx.slots(), 0.9), b(ctx.slots(), -0.8);
+    auto ca = encryptor.encrypt(encoder.encode(a, ctx.levels(),
+                                               ctx.scale()));
+    auto cb = encryptor.encrypt(encoder.encode(b, ctx.levels(),
+                                               ctx.scale()));
+    auto prod = eval.rescale(eval.multiply(ca, cb, relin));
+
+    std::vector<double> expect(ctx.slots(), 0.9 * -0.8);
+    const double observed = observedError(prod, expect);
+    const double predicted = est.afterMultiply(
+        est.fresh(ctx.scale()), est.fresh(ctx.scale()), 1.0,
+        ctx.levels(), ctx.scale());
+    EXPECT_GE(predicted, observed);
+}
+
+TEST_F(NoiseFixture, ChainBoundHoldsToLastLevel)
+{
+    auto relin = keygen.makeRelinKey();
+    std::vector<double> v(ctx.slots(), 0.99);
+    auto ct = encryptor.encrypt(encoder.encode(v, ctx.levels(),
+                                               ctx.scale()));
+    std::vector<double> expect = v;
+
+    double predicted = est.fresh(ctx.scale());
+    double bound = 1.0;
+    while (ct.limbs >= 2) {
+        ct = eval.rescale(eval.square(ct, relin));
+        predicted = est.afterMultiply(predicted, predicted, bound,
+                                      ct.limbs + 1, ctx.scale());
+        bound *= bound;
+        for (auto &x : expect)
+            x *= x;
+        EXPECT_GE(predicted, observedError(ct, expect))
+            << "at limbs " << ct.limbs;
+    }
+}
+
+TEST_F(NoiseFixture, SupportedDepthMatchesChainLength)
+{
+    // The context has levels-1 rescales available; the estimator must
+    // report a depth within that budget and at least a couple of
+    // multiplications for unit messages.
+    const int depth = est.supportedDepth(ctx.levels(), 1.0, 1e-2);
+    EXPECT_GE(depth, 2);
+    EXPECT_LE(depth, ctx.levels() - 1);
+}
+
+TEST_F(NoiseFixture, KeySwitchErrorGrowsWithDigits)
+{
+    // More active digits (higher limb counts) mean more accumulated key
+    // noise.
+    const double lo = est.keySwitchError(2, ctx.scale());
+    const double hi = est.keySwitchError(ctx.levels(), ctx.scale());
+    EXPECT_GE(hi, lo);
+}
+
+} // namespace
+} // namespace ckks
+} // namespace ufc

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit and property tests for the classical and constant-geometry NTTs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/cg_ntt.h"
+#include "math/ntt.h"
+#include "math/primes.h"
+
+namespace ufc {
+namespace {
+
+std::vector<u64>
+randomPoly(Rng &rng, u64 n, u64 q)
+{
+    std::vector<u64> a(n);
+    for (auto &x : a)
+        x = rng.uniform(q);
+    return a;
+}
+
+class NttRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(NttRoundTrip, ForwardInverseIsIdentity)
+{
+    const u64 n = 1ULL << GetParam();
+    const u64 q = findNttPrime(45, 2 * n);
+    NttTable ntt(n, q);
+    Rng rng(7 + GetParam());
+    auto a = randomPoly(rng, n, q);
+    auto b = a;
+    ntt.forward(b);
+    ntt.inverse(b);
+    EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDegrees, NttRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 10, 12, 14, 16));
+
+TEST(Ntt, MatchesSchoolbookNegacyclicConvolution)
+{
+    const u64 n = 64;
+    const u64 q = findNttPrime(40, 2 * n);
+    NttTable ntt(n, q);
+    Rng rng(11);
+    auto a = randomPoly(rng, n, q);
+    auto b = randomPoly(rng, n, q);
+
+    auto expect = ntt.negacyclicMulSchoolbook(a, b);
+
+    auto fa = a;
+    auto fb = b;
+    ntt.forward(fa);
+    ntt.forward(fb);
+    for (u64 i = 0; i < n; ++i)
+        fa[i] = ntt.modulus().mul(fa[i], fb[i]);
+    ntt.inverse(fa);
+    EXPECT_EQ(fa, expect);
+}
+
+TEST(Ntt, ForwardIsEvaluationAtOddPsiPowers)
+{
+    const u64 n = 16;
+    const u64 q = findNttPrime(30, 2 * n);
+    NttTable ntt(n, q);
+    Rng rng(13);
+    auto a = randomPoly(rng, n, q);
+    auto f = a;
+    ntt.forward(f);
+    // f[k] must equal a(psi^(2k+1)) under the natural-order convention.
+    const u64 psi = ntt.psi();
+    for (u64 k = 0; k < n; ++k) {
+        const u64 x = powMod(psi, 2 * k + 1, q);
+        u64 acc = 0;
+        u64 xp = 1;
+        for (u64 j = 0; j < n; ++j) {
+            acc = addMod(acc, mulMod(a[j], xp, q), q);
+            xp = mulMod(xp, x, q);
+        }
+        EXPECT_EQ(f[k], acc) << "k=" << k;
+    }
+}
+
+TEST(Ntt, LinearityProperty)
+{
+    const u64 n = 256;
+    const u64 q = findNttPrime(45, 2 * n);
+    NttTable ntt(n, q);
+    Rng rng(17);
+    auto a = randomPoly(rng, n, q);
+    auto b = randomPoly(rng, n, q);
+    const u64 c = rng.uniform(q);
+
+    // NTT(a + c*b) == NTT(a) + c*NTT(b)
+    std::vector<u64> lhs(n);
+    for (u64 i = 0; i < n; ++i)
+        lhs[i] = addMod(a[i], mulMod(c, b[i], q), q);
+    ntt.forward(lhs);
+
+    auto fa = a;
+    auto fb = b;
+    ntt.forward(fa);
+    ntt.forward(fb);
+    for (u64 i = 0; i < n; ++i)
+        fa[i] = addMod(fa[i], mulMod(c, fb[i], q), q);
+    EXPECT_EQ(lhs, fa);
+}
+
+class CgNttEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgNttEquivalence, MatchesClassicalNtt)
+{
+    const u64 n = 1ULL << GetParam();
+    const u64 q = findNttPrime(45, 2 * n);
+    // Share psi so both transforms use identical evaluation points.
+    NttTable ntt(n, q);
+    CgNtt cg(n, q, ntt.psi());
+    Rng rng(19 + GetParam());
+    auto a = randomPoly(rng, n, q);
+
+    auto classical = a;
+    ntt.forward(classical);
+    auto pease = a;
+    cg.forward(pease);
+    EXPECT_EQ(classical, pease);
+
+    cg.inverse(pease);
+    EXPECT_EQ(pease, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDegrees, CgNttEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 10, 12, 14));
+
+TEST(CgNtt, PerfectShuffleIsAddressRotation)
+{
+    const int logN = 6;
+    // sigma(g) rotates the logN-bit address left by one.
+    for (u64 g = 0; g < (1ULL << logN); ++g) {
+        const u64 expect = ((g << 1) & ((1ULL << logN) - 1)) |
+                           (g >> (logN - 1));
+        EXPECT_EQ(CgNtt::perfectShuffle(g, logN), expect);
+    }
+    // logN applications are the identity.
+    u64 g = 0b101101;
+    u64 h = g;
+    for (int i = 0; i < logN; ++i)
+        h = CgNtt::perfectShuffle(h, logN);
+    EXPECT_EQ(h, g);
+}
+
+TEST(CgNtt, AutomorphismViaNttMatchesExplicitPermutation)
+{
+    const u64 n = 64;
+    const u64 q = findNttPrime(40, 2 * n);
+    NttTable ntt(n, q);
+    CgNtt cg(n, q, ntt.psi());
+    Rng rng(23);
+    auto a = randomPoly(rng, n, q);
+
+    for (u64 k : {u64{3}, u64{5}, u64{25}, 2 * n - 1}) {
+        // Reference: apply the automorphism on coefficients, then NTT.
+        std::vector<u64> ref(n, 0);
+        for (u64 i = 0; i < n; ++i) {
+            const u64 e = (i * k) % (2 * n);
+            if (e < n)
+                ref[e] = addMod(ref[e], a[i], q);
+            else
+                ref[e - n] = subMod(ref[e - n], a[i], q);
+        }
+        ntt.forward(ref);
+
+        // UFC's way: same data, NTT with re-indexed roots (psi^k).
+        auto viaNtt = a;
+        cg.forwardAutomorphism(viaNtt, k);
+        EXPECT_EQ(viaNtt, ref) << "k=" << k;
+    }
+}
+
+TEST(CgNtt, PackedForwardProducesInterleavedEvaluations)
+{
+    const u64 n = 64, m = 16;
+    const u64 p = n / m;
+    const u64 q = findNttPrime(40, 2 * n);
+    CgNtt cg(n, q);
+    Rng rng(29);
+    std::vector<u64> packed(n);
+    for (auto &x : packed)
+        x = rng.uniform(q);
+
+    // Reference small transforms with the compatible psi (psi_n^(n/m)).
+    const u64 psiM = powMod(cg.degree() ? findPrimitiveRoot(2 * n, q) : 0,
+                            n / m, q);
+    NttTable small(m, q, psiM);
+    auto interleaved = packed;
+    cg.packedForward(interleaved, m);
+
+    for (u64 pi = 0; pi < p; ++pi) {
+        std::vector<u64> poly(packed.begin() + pi * m,
+                              packed.begin() + (pi + 1) * m);
+        small.forward(poly);
+        for (u64 i = 0; i < m; ++i)
+            EXPECT_EQ(interleaved[i * p + pi], poly[i])
+                << "poly " << pi << " coeff " << i;
+    }
+
+    // Round trip back to the continuous layout.
+    cg.packedInverse(interleaved, m);
+    EXPECT_EQ(interleaved, packed);
+}
+
+TEST(CgNtt, PackedPointwiseMulComputesPerPolyNegacyclicProducts)
+{
+    const u64 n = 64, m = 8;
+    const u64 p = n / m;
+    const u64 q = findNttPrime(40, 2 * n);
+    CgNtt cg(n, q);
+    NttTable smallRef(m, q);
+    Modulus mod(q);
+    Rng rng(31);
+
+    std::vector<u64> pa(n), pb(n);
+    for (auto &x : pa)
+        x = rng.uniform(q);
+    for (auto &x : pb)
+        x = rng.uniform(q);
+
+    auto ea = pa, eb = pb;
+    cg.packedForward(ea, m);
+    cg.packedForward(eb, m);
+    for (u64 i = 0; i < n; ++i)
+        ea[i] = mod.mul(ea[i], eb[i]);
+    cg.packedInverse(ea, m);
+
+    for (u64 pi = 0; pi < p; ++pi) {
+        std::vector<u64> a(pa.begin() + pi * m, pa.begin() + (pi + 1) * m);
+        std::vector<u64> b(pb.begin() + pi * m, pb.begin() + (pi + 1) * m);
+        auto expect = smallRef.negacyclicMulSchoolbook(a, b);
+        for (u64 i = 0; i < m; ++i)
+            EXPECT_EQ(ea[pi * m + i], expect[i]);
+    }
+}
+
+} // namespace
+} // namespace ufc

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for RNS machinery (bases, base conversion, CRT) and polynomial
+ * types (forms, automorphisms, monomial rotation, RNS consistency).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/primes.h"
+#include "math/rns.h"
+#include "poly/rns_poly.h"
+
+namespace ufc {
+namespace {
+
+TEST(RnsBasis, QHatInverseIdentity)
+{
+    auto primes = generateNttPrimes(45, 1 << 11, 4);
+    RnsBasis basis(primes);
+    for (size_t i = 0; i < basis.size(); ++i) {
+        // qHat_i * qHatInv_i == 1 mod q_i.
+        const Modulus qi(basis.value(i));
+        u64 hat = 1;
+        for (size_t j = 0; j < basis.size(); ++j) {
+            if (j != i)
+                hat = qi.mul(hat, basis.value(j) % qi.value());
+        }
+        EXPECT_EQ(qi.mul(hat, basis.qHatInvModQi(i)), 1u);
+    }
+}
+
+TEST(RnsBasis, BaseConvertReturnsValuePlusSmallQMultiple)
+{
+    // The fast conversion is approximate by design: it returns x + u*Q
+    // for some 0 <= u < L (the CKKS noise analysis absorbs the u*Q term;
+    // our hybrid key switching cancels it exactly modulo the current
+    // basis).
+    auto from = generateNttPrimes(40, 1 << 10, 3);
+    auto to = generateNttPrimes(45, 1 << 10, 2);
+    RnsBasis fb(from), tb(to);
+    u128 bigQ = 1;
+    for (u64 q : from)
+        bigQ *= q;
+
+    Rng rng(5);
+    for (int trial = 0; trial < 200; ++trial) {
+        const u64 x = rng.uniform(1ULL << 50);
+        std::vector<u64> residues(from.size());
+        for (size_t j = 0; j < from.size(); ++j)
+            residues[j] = x % from[j];
+        const auto out = baseConvert(residues, fb, tb);
+        for (size_t i = 0; i < to.size(); ++i) {
+            bool matched = false;
+            for (u64 u = 0; u < from.size() && !matched; ++u) {
+                matched = out[i] == static_cast<u64>(
+                    (x + u * bigQ) % to[i]);
+            }
+            EXPECT_TRUE(matched) << "trial " << trial << " limb " << i;
+        }
+    }
+}
+
+TEST(RnsBasis, BaseConvertErrorBoundedByQMultiples)
+{
+    // For arbitrary x the approximate conversion returns x + u*Q with
+    // 0 <= u < L; verify via exact CRT.
+    auto from = generateNttPrimes(30, 1 << 8, 3);
+    auto to = generateNttPrimes(32, 1 << 8, 1);
+    RnsBasis fb(from), tb(to);
+    u128 bigQ = 1;
+    for (u64 q : from)
+        bigQ *= q;
+
+    Rng rng(6);
+    for (int trial = 0; trial < 500; ++trial) {
+        u128 x = ((static_cast<u128>(rng.next()) << 64) | rng.next()) %
+                 bigQ;
+        std::vector<u64> residues(from.size());
+        for (size_t j = 0; j < from.size(); ++j)
+            residues[j] = static_cast<u64>(x % from[j]);
+        const auto out = baseConvert(residues, fb, tb);
+        // out == (x + u*Q) mod p for some 0 <= u < L.
+        bool matched = false;
+        for (u64 u = 0; u < from.size() && !matched; ++u) {
+            const u64 expect =
+                static_cast<u64>((x + u * bigQ) % to[0]);
+            matched = out[0] == expect;
+        }
+        EXPECT_TRUE(matched) << "trial " << trial;
+    }
+}
+
+TEST(RnsBasis, CrtReconstructSignedRoundTrip)
+{
+    auto primes = generateNttPrimes(40, 1 << 8, 3);
+    RnsBasis basis(primes);
+    Rng rng(7);
+    for (int trial = 0; trial < 300; ++trial) {
+        const i64 x = static_cast<i64>(rng.next() >> 12) *
+                      ((rng.next() & 1) ? 1 : -1);
+        std::vector<u64> residues(basis.size());
+        for (size_t j = 0; j < basis.size(); ++j) {
+            i64 r = x % static_cast<i64>(primes[j]);
+            if (r < 0)
+                r += static_cast<i64>(primes[j]);
+            residues[j] = static_cast<u64>(r);
+        }
+        EXPECT_EQ(crtReconstructSigned(residues, basis),
+                  static_cast<i128>(x));
+    }
+}
+
+class PolyAutomorphism : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PolyAutomorphism, EvalAndCoeffFormsAgree)
+{
+    const u64 n = 128;
+    const u64 q = findNttPrime(45, 2 * n);
+    RingContext ring(n);
+    Rng rng(GetParam());
+    Poly a(&ring.table(q), PolyForm::Coeff);
+    a.sampleUniform(rng);
+
+    const u64 k = 2 * GetParam() + 1; // odd index
+
+    // Coefficient-form automorphism, then NTT.
+    Poly viaCoeff = a.automorphism(k);
+    viaCoeff.toEval();
+
+    // NTT, then evaluation-form automorphism.
+    Poly viaEval = a;
+    viaEval.toEval();
+    viaEval = viaEval.automorphism(k);
+
+    EXPECT_EQ(viaCoeff.data(), viaEval.data()) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(OddIndices, PolyAutomorphism,
+                         ::testing::Values(1, 2, 7, 31, 63, 100, 127));
+
+TEST(Poly, AutomorphismComposition)
+{
+    const u64 n = 64;
+    const u64 q = findNttPrime(40, 2 * n);
+    RingContext ring(n);
+    Rng rng(9);
+    Poly a(&ring.table(q), PolyForm::Coeff);
+    a.sampleUniform(rng);
+
+    // sigma_j(sigma_k(a)) == sigma_{jk mod 2N}(a).
+    const u64 j = 5, k = 9;
+    Poly lhs = a.automorphism(k).automorphism(j);
+    Poly rhs = a.automorphism((j * k) % (2 * n));
+    EXPECT_EQ(lhs.data(), rhs.data());
+}
+
+TEST(Poly, MonomialRotationMatchesNegacyclicMul)
+{
+    const u64 n = 64;
+    const u64 q = findNttPrime(40, 2 * n);
+    RingContext ring(n);
+    const NttTable *table = &ring.table(q);
+    Rng rng(11);
+    Poly a(table, PolyForm::Coeff);
+    a.sampleUniform(rng);
+
+    for (i64 r : {i64{1}, i64{5}, i64{63}, i64{64}, i64{100}, i64{-3},
+                  i64{-64}, i64{128}}) {
+        Poly mono(table, PolyForm::Coeff);
+        const i64 twoN = static_cast<i64>(2 * n);
+        i64 rr = ((r % twoN) + twoN) % twoN;
+        if (rr < static_cast<i64>(n)) {
+            mono[rr] = 1;
+        } else {
+            mono[rr - n] = q - 1; // -X^(r-N)
+        }
+        Poly expect = negacyclicMul(a, mono);
+        expect.toCoeff();
+        Poly got = a.mulByMonomial(r);
+        EXPECT_EQ(got.data(), expect.data()) << "r=" << r;
+    }
+}
+
+TEST(Poly, MonomialRotationFullCircleIsIdentity)
+{
+    const u64 n = 32;
+    const u64 q = findNttPrime(35, 2 * n);
+    RingContext ring(n);
+    Rng rng(13);
+    Poly a(&ring.table(q), PolyForm::Coeff);
+    a.sampleUniform(rng);
+
+    // X^N negates, X^2N is the identity.
+    Poly negated = a.mulByMonomial(static_cast<i64>(n));
+    Poly expectNeg = a;
+    expectNeg.negInPlace();
+    EXPECT_EQ(negated.data(), expectNeg.data());
+    EXPECT_EQ(a.mulByMonomial(2 * static_cast<i64>(n)).data(), a.data());
+}
+
+TEST(RnsPoly, ExtendBasisPreservesSmallPolynomials)
+{
+    RingContext ring(64);
+    auto qs = generateNttPrimes(40, 128, 2);
+    auto ps = generateNttPrimes(45, 128, 2);
+    Rng rng(15);
+
+    RnsPoly a(&ring, qs, PolyForm::Coeff);
+    // Small signed values representable in all bases.
+    for (u64 c = 0; c < 64; ++c) {
+        const u64 v = rng.uniform(1000);
+        for (size_t l = 0; l < a.limbCount(); ++l)
+            a.limb(l)[c] = v;
+    }
+    RnsPoly b = a;
+    b.extendBasis(ps);
+    ASSERT_EQ(b.limbCount(), 4u);
+    u128 bigQ = static_cast<u128>(qs[0]) * qs[1];
+    for (u64 c = 0; c < 64; ++c) {
+        const u64 v = a.limb(0)[c];
+        // New limbs carry v + u*Q for a small u (fast-BConv contract).
+        for (int extra = 0; extra < 2; ++extra) {
+            const u64 got = b.limb(2 + extra)[c];
+            const u64 p = ps[extra];
+            bool matched = false;
+            for (u64 u = 0; u < 2 && !matched; ++u)
+                matched = got == static_cast<u64>((v + u * bigQ) % p);
+            EXPECT_TRUE(matched) << "coeff " << c;
+        }
+    }
+}
+
+TEST(RnsPoly, SampledPolysAreRnsConsistent)
+{
+    RingContext ring(32);
+    auto qs = generateNttPrimes(40, 64, 3);
+    Rng rng(17);
+    RnsPoly t(&ring, qs, PolyForm::Coeff);
+    t.sampleTernary(rng);
+    for (u64 c = 0; c < 32; ++c) {
+        // All limbs represent the same ternary value.
+        const u64 v0 = t.limb(0)[c];
+        const bool isNeg = v0 == qs[0] - 1;
+        for (size_t l = 1; l < t.limbCount(); ++l) {
+            if (isNeg)
+                EXPECT_EQ(t.limb(l)[c], qs[l] - 1);
+            else
+                EXPECT_EQ(t.limb(l)[c], v0);
+        }
+    }
+}
+
+TEST(RingContext, TablesAreCachedPerModulus)
+{
+    RingContext ring(64);
+    const u64 q = findNttPrime(40, 128);
+    const NttTable *t1 = &ring.table(q);
+    const NttTable *t2 = &ring.table(q);
+    EXPECT_EQ(t1, t2);
+    const u64 q2 = findNttPrime(40, 128, 1);
+    EXPECT_NE(t1, &ring.table(q2));
+}
+
+} // namespace
+} // namespace ufc
