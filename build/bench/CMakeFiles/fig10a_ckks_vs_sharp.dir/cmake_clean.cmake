@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_ckks_vs_sharp.dir/fig10a_ckks_vs_sharp.cpp.o"
+  "CMakeFiles/fig10a_ckks_vs_sharp.dir/fig10a_ckks_vs_sharp.cpp.o.d"
+  "fig10a_ckks_vs_sharp"
+  "fig10a_ckks_vs_sharp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_ckks_vs_sharp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_tfhe_vs_strix.dir/fig10b_tfhe_vs_strix.cpp.o"
+  "CMakeFiles/fig10b_tfhe_vs_strix.dir/fig10b_tfhe_vs_strix.cpp.o.d"
+  "fig10b_tfhe_vs_strix"
+  "fig10b_tfhe_vs_strix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_tfhe_vs_strix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10b_tfhe_vs_strix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_hybrid_knn.dir/fig11_hybrid_knn.cpp.o"
+  "CMakeFiles/fig11_hybrid_knn.dir/fig11_hybrid_knn.cpp.o.d"
+  "fig11_hybrid_knn"
+  "fig11_hybrid_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hybrid_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

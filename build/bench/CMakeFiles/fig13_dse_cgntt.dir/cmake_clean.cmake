@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_dse_cgntt.dir/fig13_dse_cgntt.cpp.o"
+  "CMakeFiles/fig13_dse_cgntt.dir/fig13_dse_cgntt.cpp.o.d"
+  "fig13_dse_cgntt"
+  "fig13_dse_cgntt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_dse_cgntt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

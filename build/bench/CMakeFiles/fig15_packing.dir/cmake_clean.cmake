@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_packing.dir/fig15_packing.cpp.o"
+  "CMakeFiles/fig15_packing.dir/fig15_packing.cpp.o.d"
+  "fig15_packing"
+  "fig15_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fhe.dir/micro_fhe.cpp.o"
+  "CMakeFiles/micro_fhe.dir/micro_fhe.cpp.o.d"
+  "micro_fhe"
+  "micro_fhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

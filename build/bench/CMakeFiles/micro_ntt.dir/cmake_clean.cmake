@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ntt.dir/micro_ntt.cpp.o"
+  "CMakeFiles/micro_ntt.dir/micro_ntt.cpp.o.d"
+  "micro_ntt"
+  "micro_ntt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ntt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbs_batching.dir/pbs_batching.cpp.o"
+  "CMakeFiles/pbs_batching.dir/pbs_batching.cpp.o.d"
+  "pbs_batching"
+  "pbs_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbs_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_fig9_area.dir/table2_fig9_area.cpp.o"
+  "CMakeFiles/table2_fig9_area.dir/table2_fig9_area.cpp.o.d"
+  "table2_fig9_area"
+  "table2_fig9_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_fig9_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_encrypted_nn.dir/encrypted_nn.cpp.o"
+  "CMakeFiles/example_encrypted_nn.dir/encrypted_nn.cpp.o.d"
+  "example_encrypted_nn"
+  "example_encrypted_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_encrypted_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hybrid_knn.dir/hybrid_knn.cpp.o"
+  "CMakeFiles/example_hybrid_knn.dir/hybrid_knn.cpp.o.d"
+  "example_hybrid_knn"
+  "example_hybrid_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hybrid_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_simulate_ufc.dir/simulate_ufc.cpp.o"
+  "CMakeFiles/example_simulate_ufc.dir/simulate_ufc.cpp.o.d"
+  "example_simulate_ufc"
+  "example_simulate_ufc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_simulate_ufc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tfhe_gates.dir/tfhe_gates.cpp.o"
+  "CMakeFiles/example_tfhe_gates.dir/tfhe_gates.cpp.o.d"
+  "example_tfhe_gates"
+  "example_tfhe_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tfhe_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_tfhe_gates.
+# This may be replaced when dependencies are built.

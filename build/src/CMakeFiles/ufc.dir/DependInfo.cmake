@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/sharp_perf.cpp" "src/CMakeFiles/ufc.dir/baselines/sharp_perf.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/baselines/sharp_perf.cpp.o.d"
+  "/root/repo/src/baselines/strix_perf.cpp" "src/CMakeFiles/ufc.dir/baselines/strix_perf.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/baselines/strix_perf.cpp.o.d"
+  "/root/repo/src/ckks/bootstrap.cpp" "src/CMakeFiles/ufc.dir/ckks/bootstrap.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/ckks/bootstrap.cpp.o.d"
+  "/root/repo/src/ckks/chebyshev.cpp" "src/CMakeFiles/ufc.dir/ckks/chebyshev.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/ckks/chebyshev.cpp.o.d"
+  "/root/repo/src/ckks/compare.cpp" "src/CMakeFiles/ufc.dir/ckks/compare.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/ckks/compare.cpp.o.d"
+  "/root/repo/src/ckks/context.cpp" "src/CMakeFiles/ufc.dir/ckks/context.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/ckks/context.cpp.o.d"
+  "/root/repo/src/ckks/encoder.cpp" "src/CMakeFiles/ufc.dir/ckks/encoder.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/ckks/encoder.cpp.o.d"
+  "/root/repo/src/ckks/evaluator.cpp" "src/CMakeFiles/ufc.dir/ckks/evaluator.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/ckks/evaluator.cpp.o.d"
+  "/root/repo/src/ckks/keys.cpp" "src/CMakeFiles/ufc.dir/ckks/keys.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/ckks/keys.cpp.o.d"
+  "/root/repo/src/ckks/linear_transform.cpp" "src/CMakeFiles/ufc.dir/ckks/linear_transform.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/ckks/linear_transform.cpp.o.d"
+  "/root/repo/src/ckks/noise_estimator.cpp" "src/CMakeFiles/ufc.dir/ckks/noise_estimator.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/ckks/noise_estimator.cpp.o.d"
+  "/root/repo/src/ckks/params.cpp" "src/CMakeFiles/ufc.dir/ckks/params.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/ckks/params.cpp.o.d"
+  "/root/repo/src/ckks/poly_eval.cpp" "src/CMakeFiles/ufc.dir/ckks/poly_eval.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/ckks/poly_eval.cpp.o.d"
+  "/root/repo/src/compiler/lowering.cpp" "src/CMakeFiles/ufc.dir/compiler/lowering.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/compiler/lowering.cpp.o.d"
+  "/root/repo/src/math/cg_ntt.cpp" "src/CMakeFiles/ufc.dir/math/cg_ntt.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/math/cg_ntt.cpp.o.d"
+  "/root/repo/src/math/fft.cpp" "src/CMakeFiles/ufc.dir/math/fft.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/math/fft.cpp.o.d"
+  "/root/repo/src/math/gadget.cpp" "src/CMakeFiles/ufc.dir/math/gadget.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/math/gadget.cpp.o.d"
+  "/root/repo/src/math/ntt.cpp" "src/CMakeFiles/ufc.dir/math/ntt.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/math/ntt.cpp.o.d"
+  "/root/repo/src/math/primes.cpp" "src/CMakeFiles/ufc.dir/math/primes.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/math/primes.cpp.o.d"
+  "/root/repo/src/math/rns.cpp" "src/CMakeFiles/ufc.dir/math/rns.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/math/rns.cpp.o.d"
+  "/root/repo/src/poly/poly.cpp" "src/CMakeFiles/ufc.dir/poly/poly.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/poly/poly.cpp.o.d"
+  "/root/repo/src/poly/rns_poly.cpp" "src/CMakeFiles/ufc.dir/poly/rns_poly.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/poly/rns_poly.cpp.o.d"
+  "/root/repo/src/sim/accelerator.cpp" "src/CMakeFiles/ufc.dir/sim/accelerator.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/sim/accelerator.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/ufc.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/ufc.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/ufc_perf.cpp" "src/CMakeFiles/ufc.dir/sim/ufc_perf.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/sim/ufc_perf.cpp.o.d"
+  "/root/repo/src/switching/lwe_switch.cpp" "src/CMakeFiles/ufc.dir/switching/lwe_switch.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/switching/lwe_switch.cpp.o.d"
+  "/root/repo/src/switching/repack.cpp" "src/CMakeFiles/ufc.dir/switching/repack.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/switching/repack.cpp.o.d"
+  "/root/repo/src/switching/scheme_switch.cpp" "src/CMakeFiles/ufc.dir/switching/scheme_switch.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/switching/scheme_switch.cpp.o.d"
+  "/root/repo/src/tfhe/bootstrap.cpp" "src/CMakeFiles/ufc.dir/tfhe/bootstrap.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/tfhe/bootstrap.cpp.o.d"
+  "/root/repo/src/tfhe/gates.cpp" "src/CMakeFiles/ufc.dir/tfhe/gates.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/tfhe/gates.cpp.o.d"
+  "/root/repo/src/tfhe/integer.cpp" "src/CMakeFiles/ufc.dir/tfhe/integer.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/tfhe/integer.cpp.o.d"
+  "/root/repo/src/tfhe/lwe.cpp" "src/CMakeFiles/ufc.dir/tfhe/lwe.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/tfhe/lwe.cpp.o.d"
+  "/root/repo/src/tfhe/params.cpp" "src/CMakeFiles/ufc.dir/tfhe/params.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/tfhe/params.cpp.o.d"
+  "/root/repo/src/tfhe/rlwe.cpp" "src/CMakeFiles/ufc.dir/tfhe/rlwe.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/tfhe/rlwe.cpp.o.d"
+  "/root/repo/src/tfhe/rlwe_ks.cpp" "src/CMakeFiles/ufc.dir/tfhe/rlwe_ks.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/tfhe/rlwe_ks.cpp.o.d"
+  "/root/repo/src/trace/serialize.cpp" "src/CMakeFiles/ufc.dir/trace/serialize.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/trace/serialize.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/ufc.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/CMakeFiles/ufc.dir/workloads/workloads.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/workloads/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

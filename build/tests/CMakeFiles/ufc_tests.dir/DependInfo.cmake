@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ckks.cpp" "tests/CMakeFiles/ufc_tests.dir/test_ckks.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_ckks.cpp.o.d"
+  "/root/repo/tests/test_ckks_advanced.cpp" "tests/CMakeFiles/ufc_tests.dir/test_ckks_advanced.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_ckks_advanced.cpp.o.d"
+  "/root/repo/tests/test_ckks_bootstrap.cpp" "tests/CMakeFiles/ufc_tests.dir/test_ckks_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_ckks_bootstrap.cpp.o.d"
+  "/root/repo/tests/test_cost_engine.cpp" "tests/CMakeFiles/ufc_tests.dir/test_cost_engine.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_cost_engine.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/ufc_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_integer_compare.cpp" "tests/CMakeFiles/ufc_tests.dir/test_integer_compare.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_integer_compare.cpp.o.d"
+  "/root/repo/tests/test_mod_arith.cpp" "tests/CMakeFiles/ufc_tests.dir/test_mod_arith.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_mod_arith.cpp.o.d"
+  "/root/repo/tests/test_noise_estimator.cpp" "tests/CMakeFiles/ufc_tests.dir/test_noise_estimator.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_noise_estimator.cpp.o.d"
+  "/root/repo/tests/test_ntt.cpp" "tests/CMakeFiles/ufc_tests.dir/test_ntt.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_ntt.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/ufc_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rns_poly.cpp" "tests/CMakeFiles/ufc_tests.dir/test_rns_poly.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_rns_poly.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/ufc_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_switching.cpp" "tests/CMakeFiles/ufc_tests.dir/test_switching.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_switching.cpp.o.d"
+  "/root/repo/tests/test_tfhe.cpp" "tests/CMakeFiles/ufc_tests.dir/test_tfhe.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_tfhe.cpp.o.d"
+  "/root/repo/tests/test_trace_compiler.cpp" "tests/CMakeFiles/ufc_tests.dir/test_trace_compiler.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_trace_compiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ufc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for ufc_tests.
+# This may be replaced when dependencies are built.
