@@ -3,24 +3,27 @@
  * Figure 10(a): SIMD-scheme (CKKS) workloads on UFC versus SHARP —
  * delay, energy, EDP and EDAP for HELR, ResNet-20, Sorting and
  * Bootstrapping at the C1-C3 parameter sets.
+ *
+ * All simulations run through the parallel experiment runner; the table
+ * below is formatted from the labelled result set.
  */
 
 #include <cmath>
 
 #include "bench_util.h"
-#include "sim/accelerator.h"
+#include "runner/sweeps.h"
 #include "workloads/workloads.h"
 
 using namespace ufc;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::header("Figure 10(a): CKKS workloads, UFC vs SHARP",
                   "UFC paper, Figure 10(a)");
 
-    sim::UfcModel ufcm;
-    sim::SharpModel sharp;
+    const auto sweep = runner::fig10aSweep();
+    const auto results = bench::runSweep(sweep, argc, argv);
 
     double gDelay = 1.0, gEnergy = 1.0, gEdp = 1.0, gEdap = 1.0;
     int count = 0;
@@ -35,8 +38,10 @@ main()
                     "UFC (ms)", "SHARP (ms)", "delay", "energy", "EDP",
                     "EDAP");
         for (const auto &tr : workloads::ckksSuite(params)) {
-            const auto u = ufcm.run(tr);
-            const auto s = sharp.run(tr);
+            const auto &u = results.at(runner::jobLabel(
+                sweep.name, params.name, tr.name, "UFC"));
+            const auto &s = results.at(runner::jobLabel(
+                sweep.name, params.name, tr.name, "SHARP"));
             const double delay = s.seconds / u.seconds;
             const double energy = s.energyJ / u.energyJ;
             const double edp = s.edp() / u.edp();

@@ -2,25 +2,24 @@
  * @file
  * Figure 10(b): logic-scheme (TFHE) workloads on UFC versus Strix —
  * functional-bootstrapping throughput and NN inference across the T1-T4
- * parameter sets.
+ * parameter sets, simulated through the parallel experiment runner.
  */
 
 #include <cmath>
 
 #include "bench_util.h"
-#include "sim/accelerator.h"
 #include "workloads/workloads.h"
 
 using namespace ufc;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::header("Figure 10(b): TFHE workloads, UFC vs Strix",
                   "UFC paper, Figure 10(b)");
 
-    sim::UfcModel ufcm;
-    sim::StrixModel strix;
+    const auto sweep = runner::fig10bSweep();
+    const auto results = bench::runSweep(sweep, argc, argv);
 
     double gDelay = 1.0, gEnergy = 1.0, gEdap = 1.0;
     int count = 0;
@@ -32,8 +31,10 @@ main()
                                tfhe::TfheParams::t3(),
                                tfhe::TfheParams::t4()}) {
         for (const auto &tr : workloads::tfheSuite(params)) {
-            const auto u = ufcm.run(tr);
-            const auto s = strix.run(tr);
+            const auto &u = results.at(runner::jobLabel(
+                sweep.name, params.name, tr.name, "UFC"));
+            const auto &s = results.at(runner::jobLabel(
+                sweep.name, params.name, tr.name, "Strix"));
             const double delay = s.seconds / u.seconds;
             const double energy = s.energyJ / u.energyJ;
             const double edap = s.edap() / u.edap();

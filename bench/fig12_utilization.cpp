@@ -1,11 +1,11 @@
 /**
  * @file
  * Figure 12: utilization of the key UFC components (processing elements,
- * NoC, HBM) on the CKKS and TFHE workload suites.
+ * NoC, HBM) on the CKKS and TFHE workload suites, pulled from the
+ * structured per-resource breakdown in sim::RunResult.
  */
 
 #include "bench_util.h"
-#include "sim/accelerator.h"
 #include "workloads/workloads.h"
 
 using namespace ufc;
@@ -24,44 +24,36 @@ report(const char *name, const sim::RunResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::header("Figure 12: utilization of key UFC components",
                   "UFC paper, Figure 12");
 
-    sim::UfcModel ufcm;
-    const auto cp = ckks::CkksParams::c2();
-    const auto tp = tfhe::TfheParams::t2();
+    const auto sweep = runner::fig12Sweep();
+    const auto results = bench::runSweep(sweep, argc, argv);
 
-    std::printf("CKKS workloads:\n");
-    double pe = 0, noc = 0, hbm = 0;
-    int n = 0;
-    for (const auto &tr : workloads::ckksSuite(cp)) {
-        const auto r = ufcm.run(tr);
-        report(tr.name.c_str(), r);
-        pe += r.stats.peUtilization();
-        noc += r.stats.utilization(isa::Resource::Noc);
-        hbm += r.stats.hbmUtilization();
-        ++n;
-    }
-    std::printf("%-16s PE %5.1f%%   NoC %5.1f%%   HBM %5.1f%%\n",
-                "  (average)", 100.0 * pe / n, 100.0 * noc / n,
-                100.0 * hbm / n);
+    const auto section = [&](const char *title, const char *group,
+                             const std::vector<trace::Trace> &suite) {
+        std::printf("%s workloads:\n", title);
+        double pe = 0, noc = 0, hbm = 0;
+        int n = 0;
+        for (const auto &tr : suite) {
+            const auto &r = results.at(
+                runner::jobLabel(sweep.name, group, tr.name, "UFC"));
+            report(tr.name.c_str(), r);
+            pe += r.stats.peUtilization();
+            noc += r.stats.utilization(isa::Resource::Noc);
+            hbm += r.stats.hbmUtilization();
+            ++n;
+        }
+        std::printf("%-16s PE %5.1f%%   NoC %5.1f%%   HBM %5.1f%%\n",
+                    "  (average)", 100.0 * pe / n, 100.0 * noc / n,
+                    100.0 * hbm / n);
+    };
 
-    std::printf("\nTFHE workloads:\n");
-    pe = noc = hbm = 0;
-    n = 0;
-    for (const auto &tr : workloads::tfheSuite(tp)) {
-        const auto r = ufcm.run(tr);
-        report(tr.name.c_str(), r);
-        pe += r.stats.peUtilization();
-        noc += r.stats.utilization(isa::Resource::Noc);
-        hbm += r.stats.hbmUtilization();
-        ++n;
-    }
-    std::printf("%-16s PE %5.1f%%   NoC %5.1f%%   HBM %5.1f%%\n",
-                "  (average)", 100.0 * pe / n, 100.0 * noc / n,
-                100.0 * hbm / n);
+    section("CKKS", "ckks", workloads::ckksSuite(ckks::CkksParams::c2()));
+    std::printf("\n");
+    section("TFHE", "tfhe", workloads::tfheSuite(tfhe::TfheParams::t2()));
 
     bench::footnote("paper: CKKS 65/20/69%, TFHE 75/55/25% for "
                     "PE/NoC/HBM.");

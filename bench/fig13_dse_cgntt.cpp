@@ -2,56 +2,52 @@
  * @file
  * Figure 13: design space exploration over the number of separate CG-NTT
  * networks (1/2/4) and the scratchpad capacity (128/256/512 MB), on the
- * CKKS suite.
+ * CKKS suite.  All 9 configurations x 4 workloads run concurrently
+ * through the experiment runner.
  */
 
-#include <cmath>
+#include <array>
 
 #include "bench_util.h"
-#include "sim/accelerator.h"
 #include "workloads/workloads.h"
 
 using namespace ufc;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::header("Figure 13: DSE over CG-NTT network count x scratchpad",
                   "UFC paper, Figure 13");
 
-    const auto cp = ckks::CkksParams::c2();
-    const auto suite = workloads::ckksSuite(cp);
+    const auto suite = workloads::ckksSuite(ckks::CkksParams::c2());
+    const auto sweep = runner::fig13Sweep();
+    const auto results = bench::runSweep(sweep, argc, argv);
+
+    const auto totals = [&](const std::string &group) {
+        double delay = 0.0, edp = 0.0, edap = 0.0, area = 0.0;
+        for (const auto &tr : suite) {
+            const auto &r = results.at(
+                runner::jobLabel(sweep.name, group, tr.name, "UFC"));
+            delay += r.seconds;
+            edp += r.edp();
+            edap += r.edap();
+            area = r.areaMm2;
+        }
+        return std::array<double, 4>{delay, edp, edap, area};
+    };
 
     // Baseline for normalization: Table II (1 network, 256 MB).
-    sim::UfcModel base;
-    double baseDelay = 0.0, baseEdp = 0.0, baseEdap = 0.0;
-    for (const auto &tr : suite) {
-        const auto r = base.run(tr);
-        baseDelay += r.seconds;
-        baseEdp += r.edp();
-        baseEdap += r.edap();
-    }
+    const auto base = totals(runner::dseNetworkGroup(1, 256.0));
 
     std::printf("%-10s %-10s | %10s %10s %10s %10s\n", "networks",
                 "spad(MB)", "area(mm2)", "delay", "EDP", "EDAP");
     for (int networks : {1, 2, 4}) {
         for (double spad : {128.0, 256.0, 512.0}) {
-            auto cfg = sim::UfcConfig::tableII();
-            cfg.cgNetworks = networks;
-            cfg.scratchpadMb = spad;
-            sim::UfcModel model(cfg);
-
-            double delay = 0.0, edp = 0.0, edap = 0.0;
-            for (const auto &tr : suite) {
-                const auto r = model.run(tr);
-                delay += r.seconds;
-                edp += r.edp();
-                edap += r.edap();
-            }
+            const auto t =
+                totals(runner::dseNetworkGroup(networks, spad));
             std::printf("%-10d %-10.0f | %10.1f %9.2fx %9.2fx %9.2fx\n",
-                        networks, spad, model.areaMm2(),
-                        delay / baseDelay, edp / baseEdp,
-                        edap / baseEdap);
+                        networks, spad, t[3], t[0] / base[0],
+                        t[1] / base[1], t[2] / base[2]);
         }
     }
     bench::footnote("ratios are relative to the Table II configuration "

@@ -2,54 +2,50 @@
  * @file
  * Figure 14: design space exploration over the per-PE lane count
  * (64/128/256/512, scaling butterflies with it) and scratchpad capacity,
- * on the CKKS suite.
+ * on the CKKS suite, run concurrently through the experiment runner.
  */
 
+#include <array>
+
 #include "bench_util.h"
-#include "sim/accelerator.h"
 #include "workloads/workloads.h"
 
 using namespace ufc;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::header("Figure 14: DSE over lanes per PE x scratchpad",
                   "UFC paper, Figure 14");
 
-    const auto cp = ckks::CkksParams::c2();
-    const auto suite = workloads::ckksSuite(cp);
+    const auto suite = workloads::ckksSuite(ckks::CkksParams::c2());
+    const auto sweep = runner::fig14Sweep();
+    const auto results = bench::runSweep(sweep, argc, argv);
 
-    sim::UfcModel base;
-    double baseDelay = 0.0, baseEdp = 0.0, baseEdap = 0.0;
-    for (const auto &tr : suite) {
-        const auto r = base.run(tr);
-        baseDelay += r.seconds;
-        baseEdp += r.edp();
-        baseEdap += r.edap();
-    }
+    const auto totals = [&](const std::string &group) {
+        double delay = 0.0, edp = 0.0, edap = 0.0, area = 0.0;
+        for (const auto &tr : suite) {
+            const auto &r = results.at(
+                runner::jobLabel(sweep.name, group, tr.name, "UFC"));
+            delay += r.seconds;
+            edp += r.edp();
+            edap += r.edap();
+            area = r.areaMm2;
+        }
+        return std::array<double, 4>{delay, edp, edap, area};
+    };
+
+    // Baseline for normalization: Table II (256 lanes/PE, 256 MB).
+    const auto base = totals(runner::dseLaneGroup(256, 256.0));
 
     std::printf("%-10s %-10s | %10s %10s %10s %10s\n", "lanes/PE",
                 "spad(MB)", "area(mm2)", "delay", "EDP", "EDAP");
     for (int lanes : {64, 128, 256, 512}) {
         for (double spad : {128.0, 256.0, 512.0}) {
-            auto cfg = sim::UfcConfig::tableII();
-            cfg.lanesPerPe = lanes;
-            cfg.butterfliesPerPe = lanes / 2;
-            cfg.globalNocWordsPerCycle = 64 * lanes * 2;
-            cfg.scratchpadMb = spad;
-            sim::UfcModel model(cfg);
-
-            double delay = 0.0, edp = 0.0, edap = 0.0;
-            for (const auto &tr : suite) {
-                const auto r = model.run(tr);
-                delay += r.seconds;
-                edp += r.edp();
-                edap += r.edap();
-            }
+            const auto t = totals(runner::dseLaneGroup(lanes, spad));
             std::printf("%-10d %-10.0f | %10.1f %9.2fx %9.2fx %9.2fx\n",
-                        lanes, spad, model.areaMm2(), delay / baseDelay,
-                        edp / baseEdp, edap / baseEdap);
+                        lanes, spad, t[3], t[0] / base[0], t[1] / base[1],
+                        t[2] / base[2]);
         }
     }
     bench::footnote("ratios relative to Table II (256 lanes, 256 MB); "

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * One-shot parallel reproduction of the paper's entire evaluation sweep
+ * (Figures 10(a), 10(b), 12, 13, 14): every workload x accelerator x
+ * configuration job from runner::paperSweeps() executed across a thread
+ * pool, with a structured JSON (and optionally CSV) report.
+ *
+ *   ./build/bench/sweep_all                          # all cores -> ufc_sweep.json
+ *   ./build/bench/sweep_all --threads 4 --csv out.csv
+ *   ./build/bench/sweep_all --compare-serial         # verify + time vs serial
+ *   ./build/bench/sweep_all --sweep fig13 --list
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runner/report.h"
+#include "runner/sweeps.h"
+
+using namespace ufc;
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Everything except hostSeconds (a host-side measurement) must match. */
+bool
+identicalSimulated(const sim::RunResult &a, const sim::RunResult &b)
+{
+    if (a.label != b.label || a.machine != b.machine ||
+        a.workload != b.workload || a.seconds != b.seconds ||
+        a.energyJ != b.energyJ || a.powerW != b.powerW ||
+        a.areaMm2 != b.areaMm2 ||
+        a.stats.totalCycles != b.stats.totalCycles ||
+        a.stats.hbmBytes != b.stats.hbmBytes ||
+        a.stats.hbmBusyCycles != b.stats.hbmBusyCycles ||
+        a.stats.spadHitBytes != b.stats.spadHitBytes ||
+        a.stats.instCount != b.stats.instCount)
+        return false;
+    for (int i = 0; i < isa::kNumResources; ++i)
+        if (a.stats.busyCycles[i] != b.stats.busyCycles[i])
+            return false;
+    return true;
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --threads N       worker threads (default: all cores)\n"
+        "  --serial          single-threaded execution\n"
+        "  --json PATH       JSON report path (default: ufc_sweep.json)\n"
+        "  --csv PATH        also write a CSV report\n"
+        "  --sweep NAME      only run one sweep (fig10a|fig10b|fig12|"
+        "fig13|fig14); repeatable\n"
+        "  --compare-serial  run parallel then serial, verify identical\n"
+        "                    results, report the speedup\n"
+        "  --list            print the selected jobs and exit\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runner::RunnerConfig cfg;
+    std::string jsonPath = "ufc_sweep.json";
+    std::string csvPath;
+    std::vector<std::string> only;
+    bool compareSerial = false;
+    bool list = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--threads")
+            cfg.threads = std::atoi(value());
+        else if (arg == "--serial")
+            cfg.threads = 1;
+        else if (arg == "--json")
+            jsonPath = value();
+        else if (arg == "--csv")
+            csvPath = value();
+        else if (arg == "--sweep")
+            only.push_back(value());
+        else if (arg == "--compare-serial")
+            compareSerial = true;
+        else if (arg == "--list")
+            list = true;
+        else {
+            usage(argv[0]);
+            return arg == "--help" || arg == "-h" ? 0 : 2;
+        }
+    }
+
+    auto sweeps = runner::paperSweeps();
+    if (!only.empty()) {
+        std::vector<runner::Sweep> selected;
+        for (auto &sweep : sweeps)
+            for (const auto &name : only)
+                if (sweep.name == name)
+                    selected.push_back(std::move(sweep));
+        if (selected.empty()) {
+            std::fprintf(stderr, "no sweep matched --sweep filters\n");
+            return 2;
+        }
+        sweeps = std::move(selected);
+    }
+    const auto jobs = runner::allJobs(sweeps);
+
+    std::printf("paper sweep: %zu sweeps, %zu simulation jobs\n",
+                sweeps.size(), jobs.size());
+    for (const auto &sweep : sweeps)
+        std::printf("  %-8s %4zu jobs  %s\n", sweep.name.c_str(),
+                    sweep.jobs.size(), sweep.title.c_str());
+    if (list) {
+        for (const auto &job : jobs)
+            std::printf("%s\n", job.label.c_str());
+        return 0;
+    }
+
+    const runner::ExperimentRunner exec(cfg);
+    const int threads = exec.effectiveThreads(jobs.size());
+    std::printf("running on %d thread%s...\n", threads,
+                threads == 1 ? "" : "s");
+
+    const double t0 = now();
+    const auto results = exec.run(jobs);
+    const double parallelWall = now() - t0;
+    std::printf("parallel sweep: %.2f s wall\n", parallelWall);
+
+    if (compareSerial) {
+        runner::RunnerConfig serialCfg = cfg;
+        serialCfg.threads = 1;
+        const runner::ExperimentRunner serialExec(serialCfg);
+        const double s0 = now();
+        const auto serialResults = serialExec.run(jobs);
+        const double serialWall = now() - s0;
+        std::printf("serial sweep:   %.2f s wall (%.2fx speedup on %d "
+                    "threads)\n", serialWall, serialWall / parallelWall,
+                    threads);
+
+        if (results.size() != serialResults.size()) {
+            std::fprintf(stderr, "FAIL: result count mismatch\n");
+            return 1;
+        }
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (!identicalSimulated(results[i], serialResults[i])) {
+                std::fprintf(stderr,
+                             "FAIL: parallel and serial results differ "
+                             "at %s\n", results[i].label.c_str());
+                return 1;
+            }
+        }
+        std::printf("parallel results are bit-identical to serial.\n");
+    }
+
+    runner::ReportMeta meta;
+    meta.generator = "ufc-sweep-all";
+    meta.threads = threads;
+    meta.wallSeconds = parallelWall;
+    if (!jsonPath.empty()) {
+        runner::saveJsonReport(results, jsonPath, meta);
+        std::printf("wrote %s (%zu runs)\n", jsonPath.c_str(),
+                    results.size());
+    }
+    if (!csvPath.empty()) {
+        runner::saveCsvReport(results, csvPath);
+        std::printf("wrote %s\n", csvPath.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_all.dir/sweep_all.cpp.o"
+  "CMakeFiles/sweep_all.dir/sweep_all.cpp.o.d"
+  "sweep_all"
+  "sweep_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -30,9 +30,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/math/rns.cpp" "src/CMakeFiles/ufc.dir/math/rns.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/math/rns.cpp.o.d"
   "/root/repo/src/poly/poly.cpp" "src/CMakeFiles/ufc.dir/poly/poly.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/poly/poly.cpp.o.d"
   "/root/repo/src/poly/rns_poly.cpp" "src/CMakeFiles/ufc.dir/poly/rns_poly.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/poly/rns_poly.cpp.o.d"
+  "/root/repo/src/runner/report.cpp" "src/CMakeFiles/ufc.dir/runner/report.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/runner/report.cpp.o.d"
+  "/root/repo/src/runner/runner.cpp" "src/CMakeFiles/ufc.dir/runner/runner.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/runner/runner.cpp.o.d"
+  "/root/repo/src/runner/sweeps.cpp" "src/CMakeFiles/ufc.dir/runner/sweeps.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/runner/sweeps.cpp.o.d"
   "/root/repo/src/sim/accelerator.cpp" "src/CMakeFiles/ufc.dir/sim/accelerator.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/sim/accelerator.cpp.o.d"
   "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/ufc.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/sim/cost_model.cpp.o.d"
   "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/ufc.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/ufc.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/sim/stats.cpp.o.d"
   "/root/repo/src/sim/ufc_perf.cpp" "src/CMakeFiles/ufc.dir/sim/ufc_perf.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/sim/ufc_perf.cpp.o.d"
   "/root/repo/src/switching/lwe_switch.cpp" "src/CMakeFiles/ufc.dir/switching/lwe_switch.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/switching/lwe_switch.cpp.o.d"
   "/root/repo/src/switching/repack.cpp" "src/CMakeFiles/ufc.dir/switching/repack.cpp.o" "gcc" "src/CMakeFiles/ufc.dir/switching/repack.cpp.o.d"

@@ -19,10 +19,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_ntt.cpp" "tests/CMakeFiles/ufc_tests.dir/test_ntt.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_ntt.cpp.o.d"
   "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/ufc_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_properties.cpp.o.d"
   "/root/repo/tests/test_rns_poly.cpp" "tests/CMakeFiles/ufc_tests.dir/test_rns_poly.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_rns_poly.cpp.o.d"
+  "/root/repo/tests/test_runner.cpp" "tests/CMakeFiles/ufc_tests.dir/test_runner.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_runner.cpp.o.d"
   "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/ufc_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_sim.cpp.o.d"
   "/root/repo/tests/test_switching.cpp" "tests/CMakeFiles/ufc_tests.dir/test_switching.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_switching.cpp.o.d"
   "/root/repo/tests/test_tfhe.cpp" "tests/CMakeFiles/ufc_tests.dir/test_tfhe.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_tfhe.cpp.o.d"
   "/root/repo/tests/test_trace_compiler.cpp" "tests/CMakeFiles/ufc_tests.dir/test_trace_compiler.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_trace_compiler.cpp.o.d"
+  "/root/repo/tests/test_trace_serialize.cpp" "tests/CMakeFiles/ufc_tests.dir/test_trace_serialize.cpp.o" "gcc" "tests/CMakeFiles/ufc_tests.dir/test_trace_serialize.cpp.o.d"
   )
 
 # Targets to which this target links.

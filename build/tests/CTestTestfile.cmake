@@ -5,3 +5,5 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/ufc_tests[1]_include.cmake")
+add_test(sim_runner_reentrancy "/root/repo/build/tests/ufc_tests" "--gtest_filter=SpadModel.*:CycleEngine.*:UfcPerf.*:Workloads.*:Accelerators.*:Runner.*:RunnerReport.*:RunnerSweeps.*")
+set_tests_properties(sim_runner_reentrancy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -55,6 +55,11 @@ struct LoweringOptions
 /**
  * Lowers a trace to an instruction stream, tracking buffer identities so
  * the scratchpad model sees a realistic working set.
+ *
+ * Thread safety: a Lowering instance is single-use and single-threaded
+ * (it mutates its buffer-pool counters), but it holds no shared or static
+ * state, so any number of instances may run concurrently — one per
+ * simulation thread in the batch experiment runner.
  */
 class Lowering
 {

@@ -51,6 +51,20 @@ enum class Resource
 
 constexpr int kNumResources = static_cast<int>(Resource::NumResources);
 
+/** Stable lower-case resource name used by the structured stats export. */
+constexpr const char *
+resourceName(Resource r)
+{
+    switch (r) {
+      case Resource::Butterfly: return "butterfly";
+      case Resource::VectorAlu: return "vector_alu";
+      case Resource::Noc: return "noc";
+      case Resource::Lweu: return "lweu";
+      case Resource::NumResources: break;
+    }
+    return "unknown";
+}
+
 /** A named operand region used by the scratchpad model. */
 struct BufferRef
 {

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Report emission implementation.
+ */
+
+#include "runner/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace ufc {
+namespace runner {
+
+void
+writeJsonReport(const std::vector<sim::RunResult> &results,
+                std::ostream &os, const ReportMeta &meta)
+{
+    char wall[40];
+    std::snprintf(wall, sizeof(wall), "%.6f", meta.wallSeconds);
+    os << "{\"schema\":\"" << kReportSchema << "\""
+       << ",\"generator\":\"" << meta.generator << "\""
+       << ",\"threads\":" << meta.threads
+       << ",\"wall_seconds\":" << wall
+       << ",\"run_count\":" << results.size() << ",\"runs\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\n" << results[i].toJson();
+    }
+    os << "\n]}\n";
+}
+
+void
+writeCsvReport(const std::vector<sim::RunResult> &results, std::ostream &os)
+{
+    os << sim::RunResult::csvHeader() << "\n";
+    for (const auto &r : results)
+        os << r.toCsvRow() << "\n";
+}
+
+void
+saveJsonReport(const std::vector<sim::RunResult> &results,
+               const std::string &path, const ReportMeta &meta)
+{
+    std::ofstream os(path);
+    UFC_REQUIRE(os.good(), "cannot open " << path << " for writing");
+    writeJsonReport(results, os, meta);
+}
+
+void
+saveCsvReport(const std::vector<sim::RunResult> &results,
+              const std::string &path)
+{
+    std::ofstream os(path);
+    UFC_REQUIRE(os.good(), "cannot open " << path << " for writing");
+    writeCsvReport(results, os);
+}
+
+} // namespace runner
+} // namespace ufc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Structured report emission for batches of runs: a JSON document
+ * ("ufc.report/v1": metadata + one object per run, built on
+ * sim::RunResult::toJson()) and a flat CSV (RunResult::csvHeader() +
+ * one toCsvRow() per run).
+ */
+
+#ifndef UFC_RUNNER_REPORT_H
+#define UFC_RUNNER_REPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace ufc {
+namespace runner {
+
+/** Schema identifier of the report envelope. */
+inline constexpr const char *kReportSchema = "ufc.report/v1";
+
+/** Optional report metadata recorded in the JSON envelope. */
+struct ReportMeta
+{
+    std::string generator = "ufc-runner"; ///< producing tool
+    int threads = 0;          ///< pool size used (0 = unknown)
+    double wallSeconds = 0.0; ///< end-to-end batch wall-clock
+};
+
+/** Write the JSON report document. */
+void writeJsonReport(const std::vector<sim::RunResult> &results,
+                     std::ostream &os, const ReportMeta &meta = {});
+/** Write the CSV report (header + one row per run). */
+void writeCsvReport(const std::vector<sim::RunResult> &results,
+                    std::ostream &os);
+
+/** File wrappers; ufcFatal when the path cannot be opened. */
+void saveJsonReport(const std::vector<sim::RunResult> &results,
+                    const std::string &path, const ReportMeta &meta = {});
+void saveCsvReport(const std::vector<sim::RunResult> &results,
+                   const std::string &path);
+
+} // namespace runner
+} // namespace ufc
+
+#endif // UFC_RUNNER_REPORT_H

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Experiment runner implementation: a fork-join pool over an atomic job
+ * cursor.  Each worker claims the next unstarted job and writes its
+ * result into the job's slot, so completion order never affects output
+ * order and no locking is needed beyond the cursor itself.
+ */
+
+#include "runner/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+
+namespace ufc {
+namespace runner {
+
+ExperimentRunner::ExperimentRunner(const RunnerConfig &cfg) : cfg_(cfg) {}
+
+int
+ExperimentRunner::effectiveThreads(std::size_t jobs) const
+{
+    int t = cfg_.threads;
+    if (t <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        t = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    if (static_cast<std::size_t>(t) > jobs)
+        t = static_cast<int>(jobs);
+    return t < 1 ? 1 : t;
+}
+
+std::vector<sim::RunResult>
+ExperimentRunner::run(const std::vector<Job> &jobs) const
+{
+    for (const auto &job : jobs) {
+        UFC_REQUIRE(job.model != nullptr,
+                    "runner job '" << job.label << "' has no model");
+        UFC_REQUIRE(job.trace != nullptr,
+                    "runner job '" << job.label << "' has no trace");
+    }
+
+    std::vector<sim::RunResult> results(jobs.size());
+    std::atomic<std::size_t> cursor{0};
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            const Job &job = jobs[i];
+            sim::RunOptions opts = job.options;
+            if (opts.label.empty())
+                opts.label = job.label;
+            const auto t0 = std::chrono::steady_clock::now();
+            results[i] = job.model->run(*job.trace, opts);
+            if (cfg_.measureHostTime) {
+                const auto t1 = std::chrono::steady_clock::now();
+                results[i].hostSeconds =
+                    std::chrono::duration<double>(t1 - t0).count();
+            }
+        }
+    };
+
+    const int threads = effectiveThreads(jobs.size());
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(threads));
+        for (int t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+    return results;
+}
+
+ResultSet::ResultSet(std::vector<sim::RunResult> results)
+    : results_(std::move(results))
+{
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+        if (results_[i].label.empty())
+            continue;
+        const bool fresh =
+            byLabel_.emplace(results_[i].label, i).second;
+        UFC_REQUIRE(fresh, "duplicate run label: " << results_[i].label);
+    }
+}
+
+const sim::RunResult &
+ResultSet::at(const std::string &label) const
+{
+    const auto it = byLabel_.find(label);
+    UFC_REQUIRE(it != byLabel_.end(), "no run labelled: " << label);
+    return results_[it->second];
+}
+
+bool
+ResultSet::contains(const std::string &label) const
+{
+    return byLabel_.find(label) != byLabel_.end();
+}
+
+std::string
+jobLabel(const std::string &sweep, const std::string &group,
+         const std::string &workload, const std::string &machine)
+{
+    return sweep + "/" + group + "/" + workload + "/" + machine;
+}
+
+} // namespace runner
+} // namespace ufc

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Thread-pool-backed batch experiment runner.
+ *
+ * The paper's evaluation is a sweep — every workload x accelerator x
+ * configuration point of Figures 10-15 — and each figure binary used to
+ * hand-roll its own serial loop over AcceleratorModel::run().  The runner
+ * replaces those loops: callers declare a list of Jobs (model + trace +
+ * RunOptions), the runner executes them across a pool of worker threads,
+ * and the results come back in job order, bit-identical to a serial run
+ * (AcceleratorModel::run is const and re-entrant; see accelerator.h).
+ */
+
+#ifndef UFC_RUNNER_RUNNER_H
+#define UFC_RUNNER_RUNNER_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/accelerator.h"
+#include "trace/trace.h"
+
+namespace ufc {
+namespace runner {
+
+/**
+ * One experiment: a trace simulated on a model under given options.
+ * Model and trace are shared so a sweep can cross N models with M traces
+ * without copying either.
+ */
+struct Job
+{
+    /// Unique key for result lookup; copied into RunOptions::label (and
+    /// from there into RunResult::label) when options.label is empty.
+    std::string label;
+    std::shared_ptr<const sim::AcceleratorModel> model;
+    std::shared_ptr<const trace::Trace> trace;
+    sim::RunOptions options;
+};
+
+/** Runner knobs. */
+struct RunnerConfig
+{
+    /// Worker threads; <= 0 means std::thread::hardware_concurrency().
+    int threads = 0;
+    /// Fill RunResult::hostSeconds with per-job wall-clock.
+    bool measureHostTime = true;
+};
+
+/**
+ * Executes a batch of jobs concurrently.  Results are returned in job
+ * order regardless of scheduling, so `run(jobs)` with any thread count
+ * produces the same vector (only hostSeconds, a host-side measurement,
+ * varies).
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(const RunnerConfig &cfg = RunnerConfig{});
+
+    /** Run every job; blocks until all complete. */
+    std::vector<sim::RunResult> run(const std::vector<Job> &jobs) const;
+
+    /** Threads the pool would use for a batch of `jobs` jobs. */
+    int effectiveThreads(std::size_t jobs) const;
+
+    const RunnerConfig &config() const { return cfg_; }
+
+  private:
+    RunnerConfig cfg_;
+};
+
+/**
+ * Label-indexed view over a batch's results.  Lookup keys are the Job
+ * labels (== RunResult::label).
+ */
+class ResultSet
+{
+  public:
+    ResultSet() = default;
+    explicit ResultSet(std::vector<sim::RunResult> results);
+
+    /** Result with the given label; ufcFatal if absent. */
+    const sim::RunResult &at(const std::string &label) const;
+    bool contains(const std::string &label) const;
+
+    const std::vector<sim::RunResult> &all() const { return results_; }
+    std::size_t size() const { return results_.size(); }
+
+  private:
+    std::vector<sim::RunResult> results_;
+    std::unordered_map<std::string, std::size_t> byLabel_;
+};
+
+/** Canonical label format shared by the sweep builders and the benches:
+ *  "<sweep>/<group>/<workload>/<machine>". */
+std::string jobLabel(const std::string &sweep, const std::string &group,
+                     const std::string &workload,
+                     const std::string &machine);
+
+} // namespace runner
+} // namespace ufc
+
+#endif // UFC_RUNNER_RUNNER_H

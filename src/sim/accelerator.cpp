@@ -1,6 +1,12 @@
 /**
  * @file
  * Accelerator model implementations.
+ *
+ * Re-entrancy audit (relied on by src/runner/): every run() builds its
+ * engine, scratchpad and lowering state on the stack, the MachinePerf
+ * implementations are stateless over const configs, and no function-local
+ * statics exist anywhere on this path — so concurrent run() calls on the
+ * same model instance are safe and bit-deterministic.
  */
 
 #include "sim/accelerator.h"
@@ -15,12 +21,26 @@ namespace {
 /** Run one trace through a lowering + engine pair. */
 RunStats
 lowerAndRun(const trace::Trace &tr, const compiler::LoweringOptions &opts,
-            const MachinePerf &perf)
+            const MachinePerf &perf, const RunOptions &runOpts)
 {
-    CycleEngine engine(&perf);
+    const int window = runOpts.prefetchWindow > 0
+                           ? runOpts.prefetchWindow
+                           : CycleEngine::kDefaultPrefetchWindow;
+    CycleEngine engine(&perf, window);
     compiler::Lowering lowering(&tr, opts, &engine);
     lowering.run();
     return engine.finish();
+}
+
+/** Fill the non-stats fields common to every model's result. */
+void
+stamp(RunResult &r, const RunOptions &opts, const std::string &machine,
+      const std::string &workload)
+{
+    r.label = opts.label;
+    r.verbosity = opts.verbosity;
+    r.machine = machine;
+    r.workload = workload;
 }
 
 } // namespace
@@ -51,15 +71,14 @@ UfcModel::areaMm2() const
 }
 
 RunResult
-UfcModel::run(const trace::Trace &tr) const
+UfcModel::run(const trace::Trace &tr, const RunOptions &opts) const
 {
     UfcPerf perf(cfg_);
-    const RunStats stats = lowerAndRun(tr, loweringOptions(), perf);
+    const RunStats stats = lowerAndRun(tr, loweringOptions(), perf, opts);
 
     UfcCostModel cost(cfg_);
     RunResult r;
-    r.machine = name();
-    r.workload = tr.name;
+    stamp(r, opts, name(), tr.name);
     r.stats = stats;
     r.seconds = cost.seconds(stats);
     r.powerW = cost.averagePowerW(stats);
@@ -71,7 +90,7 @@ UfcModel::run(const trace::Trace &tr) const
 SharpModel::SharpModel(const baselines::SharpConfig &cfg) : cfg_(cfg) {}
 
 RunResult
-SharpModel::run(const trace::Trace &tr) const
+SharpModel::run(const trace::Trace &tr, const RunOptions &opts) const
 {
     for (const auto &op : tr.ops) {
         // Ring-side scheme-switching ops (extract/repack) are CKKS-style
@@ -80,21 +99,20 @@ SharpModel::run(const trace::Trace &tr) const
                   "SHARP only supports SIMD-scheme (CKKS) operations");
     }
     baselines::SharpPerf perf(cfg_);
-    compiler::LoweringOptions opts;
-    opts.wordBits = cfg_.wordBits;
-    opts.totalButterflies = 1024; // pipelined NTTU width
-    opts.totalVectorLanes = 2048;
-    opts.autoViaNtt = false;       // all-to-all NoC automorphism
-    opts.rotateAsMonomialMul = false;
-    opts.smallPolyPacking = false;
-    opts.onTheFlyKeyGen = true;    // SHARP also generates keys on die
-    const RunStats stats = lowerAndRun(tr, opts, perf);
+    compiler::LoweringOptions lopts;
+    lopts.wordBits = cfg_.wordBits;
+    lopts.totalButterflies = 1024; // pipelined NTTU width
+    lopts.totalVectorLanes = 2048;
+    lopts.autoViaNtt = false;       // all-to-all NoC automorphism
+    lopts.rotateAsMonomialMul = false;
+    lopts.smallPolyPacking = false;
+    lopts.onTheFlyKeyGen = true;    // SHARP also generates keys on die
+    const RunStats stats = lowerAndRun(tr, lopts, perf, opts);
 
     BaselineCost cost{cfg_.areaMm2, cfg_.staticW, cfg_.peakDynamicW,
                       30.0, cfg_.freqGHz};
     RunResult r;
-    r.machine = name();
-    r.workload = tr.name;
+    stamp(r, opts, name(), tr.name);
     r.stats = stats;
     r.seconds = cost.seconds(stats);
     r.powerW = cost.averagePowerW(stats);
@@ -106,31 +124,30 @@ SharpModel::run(const trace::Trace &tr) const
 StrixModel::StrixModel(const baselines::StrixConfig &cfg) : cfg_(cfg) {}
 
 RunResult
-StrixModel::run(const trace::Trace &tr) const
+StrixModel::run(const trace::Trace &tr, const RunOptions &opts) const
 {
     for (const auto &op : tr.ops) {
         UFC_CHECK(op.scheme() == trace::Scheme::Tfhe,
                   "Strix only supports logic-scheme (TFHE) operations");
     }
     baselines::StrixPerf perf(cfg_);
-    compiler::LoweringOptions opts;
-    opts.wordBits = cfg_.wordBits;
-    opts.totalButterflies = cfg_.butterflies;
-    opts.totalVectorLanes = static_cast<int>(cfg_.macWordsPerCycle);
-    opts.autoViaNtt = false;
-    opts.rotateAsMonomialMul = false;
+    compiler::LoweringOptions lopts;
+    lopts.wordBits = cfg_.wordBits;
+    lopts.totalButterflies = cfg_.butterflies;
+    lopts.totalVectorLanes = static_cast<int>(cfg_.macWordsPerCycle);
+    lopts.autoViaNtt = false;
+    lopts.rotateAsMonomialMul = false;
     // Strix batches bootstraps through its streaming pipeline; modeled as
     // packing over its (narrower) datapath.
-    opts.smallPolyPacking = true;
-    opts.parallelism = compiler::Parallelism::TvLP;
-    opts.onTheFlyKeyGen = false;
-    const RunStats stats = lowerAndRun(tr, opts, perf);
+    lopts.smallPolyPacking = true;
+    lopts.parallelism = compiler::Parallelism::TvLP;
+    lopts.onTheFlyKeyGen = false;
+    const RunStats stats = lowerAndRun(tr, lopts, perf, opts);
 
     BaselineCost cost{cfg_.areaMm2, cfg_.staticW, cfg_.peakDynamicW,
                       30.0, cfg_.freqGHz};
     RunResult r;
-    r.machine = name();
-    r.workload = tr.name;
+    stamp(r, opts, name(), tr.name);
     r.stats = stats;
     r.seconds = cost.seconds(stats);
     r.powerW = cost.averagePowerW(stats);
@@ -147,7 +164,7 @@ ComposedModel::ComposedModel(const baselines::SharpConfig &sharp,
 {}
 
 RunResult
-ComposedModel::run(const trace::Trace &tr) const
+ComposedModel::run(const trace::Trace &tr, const RunOptions &opts) const
 {
     // Partition the trace by scheme.  Scheme-switching ops run on the
     // SIMD chip (extraction/repacking are ring operations) but their LWE
@@ -188,19 +205,23 @@ ComposedModel::run(const trace::Trace &tr) const
         }
     }
 
+    // Sub-runs inherit the engine knobs but not the label: the composed
+    // result is the one the caller asked for.
+    RunOptions subOpts = opts;
+    subOpts.label.clear();
+
     RunResult sharpRes;
     if (!ckksPart.ops.empty())
-        sharpRes = SharpModel(sharp_).run(ckksPart);
+        sharpRes = SharpModel(sharp_).run(ckksPart, subOpts);
     RunResult strixRes;
     if (!tfhePart.ops.empty())
-        strixRes = StrixModel(strix_).run(tfhePart);
+        strixRes = StrixModel(strix_).run(tfhePart, subOpts);
 
     const double pcieSeconds =
         pcieBytes / (pcieGBs_ * 1e9) + pcieTransfers * pcieLatencyUs_ * 1e-6;
 
     RunResult r;
-    r.machine = name();
-    r.workload = tr.name;
+    stamp(r, opts, name(), tr.name);
     r.stats = sharpRes.stats;
     r.stats.merge(strixRes.stats);
     // The two chips pipeline independent queries/batches, so steady-state

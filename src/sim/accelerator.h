@@ -19,12 +19,30 @@
 namespace ufc {
 namespace sim {
 
-/** Common interface for all simulated accelerators. */
+/**
+ * Common interface for all simulated accelerators.
+ *
+ * Thread safety: run() is const and re-entrant.  Every implementation
+ * builds its per-run state (CycleEngine, SpadModel, compiler::Lowering)
+ * on the stack and only reads its configuration, so one model instance
+ * may simulate many traces concurrently — the batch experiment runner
+ * (src/runner/) relies on this contract.
+ */
 class AcceleratorModel
 {
   public:
     virtual ~AcceleratorModel() = default;
-    virtual RunResult run(const trace::Trace &tr) const = 0;
+
+    /** Simulate a trace under the given per-run options. */
+    virtual RunResult run(const trace::Trace &tr,
+                          const RunOptions &opts) const = 0;
+
+    /** Convenience overload with default options. */
+    RunResult run(const trace::Trace &tr) const
+    {
+        return run(tr, RunOptions{});
+    }
+
     virtual std::string name() const = 0;
     virtual double areaMm2() const = 0;
 };
@@ -37,7 +55,9 @@ class UfcModel : public AcceleratorModel
                       compiler::Parallelism par =
                           compiler::Parallelism::TvLP);
 
-    RunResult run(const trace::Trace &tr) const override;
+    using AcceleratorModel::run;
+    RunResult run(const trace::Trace &tr,
+                  const RunOptions &opts) const override;
     std::string name() const override { return cfg_.name; }
     double areaMm2() const override;
 
@@ -56,7 +76,9 @@ class SharpModel : public AcceleratorModel
     explicit SharpModel(
         const baselines::SharpConfig &cfg = baselines::SharpConfig{});
 
-    RunResult run(const trace::Trace &tr) const override;
+    using AcceleratorModel::run;
+    RunResult run(const trace::Trace &tr,
+                  const RunOptions &opts) const override;
     std::string name() const override { return "SHARP"; }
     double areaMm2() const override { return cfg_.areaMm2; }
 
@@ -71,7 +93,9 @@ class StrixModel : public AcceleratorModel
     explicit StrixModel(
         const baselines::StrixConfig &cfg = baselines::StrixConfig{});
 
-    RunResult run(const trace::Trace &tr) const override;
+    using AcceleratorModel::run;
+    RunResult run(const trace::Trace &tr,
+                  const RunOptions &opts) const override;
     std::string name() const override { return "Strix"; }
     double areaMm2() const override { return cfg_.areaMm2; }
 
@@ -93,7 +117,9 @@ class ComposedModel : public AcceleratorModel
                       baselines::StrixConfig{},
                   double pcieGBs = 63.0, double pcieLatencyUs = 2.0);
 
-    RunResult run(const trace::Trace &tr) const override;
+    using AcceleratorModel::run;
+    RunResult run(const trace::Trace &tr,
+                  const RunOptions &opts) const override;
     std::string name() const override { return "SHARP+Strix"; }
     double areaMm2() const override
     {

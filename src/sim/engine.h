@@ -84,11 +84,22 @@ class SpadModel
     std::list<u64> lru_; ///< front = most recent
 };
 
-/** In-order two-engine (compute + memory) cycle model. */
+/**
+ * In-order two-engine (compute + memory) cycle model.
+ *
+ * Thread safety: a CycleEngine owns all of its mutable state and only
+ * reads the (const) MachinePerf it was given, so distinct engines may run
+ * on distinct threads concurrently; one engine must not be shared.
+ */
 class CycleEngine : public isa::InstSink
 {
   public:
-    CycleEngine(const MachinePerf *perf, int prefetchWindow = 16);
+    /// Default bound on how far the memory engine runs ahead of compute;
+    /// RunOptions::prefetchWindow overrides it per run.
+    static constexpr int kDefaultPrefetchWindow = 16;
+
+    CycleEngine(const MachinePerf *perf,
+                int prefetchWindow = kDefaultPrefetchWindow);
 
     void issue(const isa::HwInst &inst) override;
 

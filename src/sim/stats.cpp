@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Structured RunResult export (JSON / CSV).
+ *
+ * Numbers are formatted with "%.17g" so that a serialized result parses
+ * back to the exact same double — the runner's determinism guarantee
+ * ("parallel sweep == serial sweep") extends to the report files.
+ */
+
+#include "sim/stats.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ufc {
+namespace sim {
+
+namespace {
+
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Minimal JSON string escaping (labels/names are plain ASCII here). */
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+/** CSV field quoting per RFC 4180 (only when needed). */
+std::string
+csvStr(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+std::string
+RunResult::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"schema\":" << jsonStr(kRunResultSchema)
+       << ",\"label\":" << jsonStr(label)
+       << ",\"machine\":" << jsonStr(machine)
+       << ",\"workload\":" << jsonStr(workload)
+       << ",\"seconds\":" << num(seconds)
+       << ",\"energy_j\":" << num(energyJ)
+       << ",\"power_w\":" << num(powerW)
+       << ",\"area_mm2\":" << num(areaMm2)
+       << ",\"edp\":" << num(edp())
+       << ",\"edap\":" << num(edap())
+       << ",\"host_seconds\":" << num(hostSeconds);
+    if (verbosity == StatsVerbosity::Full) {
+        os << ",\"stats\":{"
+           << "\"total_cycles\":" << num(stats.totalCycles)
+           << ",\"inst_count\":" << stats.instCount
+           << ",\"hbm_bytes\":" << num(stats.hbmBytes)
+           << ",\"spad_hit_bytes\":" << num(stats.spadHitBytes)
+           << ",\"hbm_utilization\":" << num(stats.hbmUtilization())
+           << ",\"pe_utilization\":" << num(stats.peUtilization())
+           << ",\"utilization\":{";
+        for (int i = 0; i < isa::kNumResources; ++i) {
+            const auto r = static_cast<isa::Resource>(i);
+            if (i)
+                os << ",";
+            os << jsonStr(isa::resourceName(r)) << ":"
+               << num(stats.utilization(r));
+        }
+        os << "}}";
+    }
+    os << "}";
+    return os.str();
+}
+
+std::string
+RunResult::csvHeader()
+{
+    std::string h = "label,machine,workload,seconds,energy_j,power_w,"
+                    "area_mm2,edp,edap,host_seconds,total_cycles,"
+                    "inst_count,hbm_bytes,spad_hit_bytes,hbm_utilization,"
+                    "pe_utilization";
+    for (int i = 0; i < isa::kNumResources; ++i) {
+        h += ",util_";
+        h += isa::resourceName(static_cast<isa::Resource>(i));
+    }
+    return h;
+}
+
+std::string
+RunResult::toCsvRow() const
+{
+    std::ostringstream os;
+    os << csvStr(label) << "," << csvStr(machine) << ","
+       << csvStr(workload) << "," << num(seconds) << "," << num(energyJ)
+       << "," << num(powerW) << "," << num(areaMm2) << "," << num(edp())
+       << "," << num(edap()) << "," << num(hostSeconds);
+    if (verbosity == StatsVerbosity::Full) {
+        os << "," << num(stats.totalCycles) << "," << stats.instCount
+           << "," << num(stats.hbmBytes) << "," << num(stats.spadHitBytes)
+           << "," << num(stats.hbmUtilization()) << ","
+           << num(stats.peUtilization());
+        for (int i = 0; i < isa::kNumResources; ++i)
+            os << ","
+               << num(stats.utilization(static_cast<isa::Resource>(i)));
+    } else {
+        for (int i = 0; i < 6 + isa::kNumResources; ++i)
+            os << ",";
+    }
+    return os.str();
+}
+
+} // namespace sim
+} // namespace ufc

@@ -2,7 +2,30 @@
  * @file
  * Simulation result accounting: cycles, per-resource busy time, memory
  * traffic, and the derived delay/energy/EDP/EDAP metrics the paper
- * reports.
+ * reports — plus the structured export (JSON / CSV) used by the batch
+ * experiment runner.
+ *
+ * ## RunResult schema (stable; bump kRunResultSchema when it changes)
+ *
+ * Scalar fields (CSV column order, JSON key in parentheses):
+ *   label          (label)         run label assigned by the caller/runner
+ *   machine        (machine)       accelerator model name
+ *   workload       (workload)      trace name
+ *   seconds        (seconds)       simulated execution time
+ *   energyJ        (energy_j)      simulated energy
+ *   powerW         (power_w)       average power over the run
+ *   areaMm2        (area_mm2)      chip area of the model
+ *   edp()          (edp)           energy-delay product
+ *   edap()         (edap)          energy-delay-area product
+ *   hostSeconds    (host_seconds)  wall-clock the host spent simulating
+ * Raw counters (JSON under "stats", omitted at Verbosity::Compact):
+ *   totalCycles    (total_cycles)
+ *   instCount      (inst_count)
+ *   hbmBytes       (hbm_bytes)
+ *   spadHitBytes   (spad_hit_bytes)
+ *   hbmUtilization()      (hbm_utilization)
+ *   peUtilization()       (pe_utilization)
+ *   utilization(r)        (utilization.<resource>) for every isa::Resource
  */
 
 #ifndef UFC_SIM_STATS_H
@@ -16,6 +39,33 @@
 
 namespace ufc {
 namespace sim {
+
+/** Schema identifier embedded in every exported RunResult. */
+inline constexpr const char *kRunResultSchema = "ufc.runresult/v1";
+
+/** How much of a run's statistics to retain/export. */
+enum class StatsVerbosity
+{
+    Compact, ///< headline metrics only (no per-resource breakdown)
+    Full,    ///< everything, including raw counters and utilizations
+};
+
+/**
+ * Per-run options accepted by every AcceleratorModel::run() overload.
+ * Thread safety: a RunOptions value is read-only during a run, so one
+ * instance may be shared across concurrent runs.
+ */
+struct RunOptions
+{
+    /// Governs what toJson()/toCsvRow() emit for this run.
+    StatsVerbosity verbosity = StatsVerbosity::Full;
+    /// Prefetch-window override for the cycle engine's memory engine;
+    /// 0 keeps the model's default (CycleEngine::kDefaultPrefetchWindow).
+    int prefetchWindow = 0;
+    /// Free-form run label carried into RunResult::label; the experiment
+    /// runner keys result lookup on it.
+    std::string label;
+};
 
 /** Raw counters accumulated by the cycle engine. */
 struct RunStats
@@ -70,9 +120,10 @@ struct RunStats
     }
 };
 
-/** A finished run with physical units attached. */
+/** A finished run with physical units attached (schema above). */
 struct RunResult
 {
+    std::string label;    ///< from RunOptions::label
     std::string machine;
     std::string workload;
     RunStats stats;
@@ -80,9 +131,27 @@ struct RunResult
     double energyJ = 0.0;
     double areaMm2 = 0.0;
     double powerW = 0.0;
+    /// Host wall-clock spent producing this result; filled by the
+    /// experiment runner, never by the models (it is the one field that
+    /// is not deterministic run-to-run).
+    double hostSeconds = 0.0;
+    /// Captured from RunOptions at run time; governs export detail.
+    StatsVerbosity verbosity = StatsVerbosity::Full;
 
     double edp() const { return energyJ * seconds; }
     double edap() const { return energyJ * seconds * areaMm2; }
+
+    /** One self-contained JSON object (schema documented above).
+     *  Doubles are printed with round-trip precision so serialized
+     *  results compare bit-identically across runs. */
+    std::string toJson() const;
+
+    /** One CSV data row matching csvHeader(); Compact verbosity leaves
+     *  the counter columns empty. */
+    std::string toCsvRow() const;
+
+    /** Comma-separated column names for toCsvRow(). */
+    static std::string csvHeader();
 };
 
 } // namespace sim

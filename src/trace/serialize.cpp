@@ -3,6 +3,7 @@
  * Trace text serialization implementation.
  *
  * Format:
+ *   ufctrace <version>
  *   trace <name>
  *   ckks <ringDim> <levels> <special> <dnum> <limbBits>
  *   tfhe <ringDim> <lweDim> <gadgetLevels> <ksLevels> <limbBits>
@@ -74,6 +75,7 @@ opKindFromName(const std::string &name, OpKind &kind)
 void
 writeTrace(const Trace &tr, std::ostream &os)
 {
+    os << kTraceMagic << " " << kTraceFormatVersion << "\n";
     os << "trace " << tr.name << "\n";
     os << "ckks " << tr.ckksRingDim << " " << tr.ckksLevels << " "
        << tr.ckksSpecial << " " << tr.ckksDnum << " " << tr.ckksLimbBits
@@ -95,12 +97,29 @@ readTrace(std::istream &is)
     Trace tr;
     std::string line;
     bool sawEnd = false;
+    bool sawMagic = false;
     while (std::getline(is, line)) {
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream ss(line);
         std::string tag;
         ss >> tag;
+        if (!sawMagic) {
+            // The first meaningful line must be the versioned magic;
+            // anything else (including a headerless v1 file) is rejected.
+            UFC_REQUIRE(tag == kTraceMagic,
+                        "not a ufc trace file (missing '"
+                            << kTraceMagic << "' magic, got '" << tag
+                            << "')");
+            int version = -1;
+            ss >> version;
+            UFC_REQUIRE(!ss.fail() && version == kTraceFormatVersion,
+                        "unsupported trace format version "
+                            << version << " (expected "
+                            << kTraceFormatVersion << ")");
+            sawMagic = true;
+            continue;
+        }
         if (tag == "trace") {
             ss >> tr.name;
         } else if (tag == "ckks") {

@@ -19,9 +19,20 @@
 namespace ufc {
 namespace trace {
 
-/** Write a trace in the text format. */
+/** Magic tag on the first line of every trace file. */
+inline constexpr const char *kTraceMagic = "ufctrace";
+/**
+ * Current format version, written after the magic.  History:
+ *   v2 — added the "ufctrace <version>" header line (v1 files, which
+ *        predate versioning, start directly with "trace" and are
+ *        rejected with an explicit message).
+ */
+inline constexpr int kTraceFormatVersion = 2;
+
+/** Write a trace in the text format (always the current version). */
 void writeTrace(const Trace &tr, std::ostream &os);
-/** Parse a trace from the text format; throws via ufcFatal on errors. */
+/** Parse a trace from the text format; exits via ufcFatal on errors,
+ *  including a missing magic line or an unknown version. */
 Trace readTrace(std::istream &is);
 
 /** Convenience file wrappers. */

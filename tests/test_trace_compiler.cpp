@@ -115,7 +115,7 @@ TEST(TraceSerialize, AllOpKindsHaveUniqueNames)
 
 TEST(TraceSerialize, RejectsMalformedInput)
 {
-    std::stringstream ss("trace x\nop bogus.op 1 1 0 0\nend\n");
+    std::stringstream ss("ufctrace 2\ntrace x\nop bogus.op 1 1 0 0\nend\n");
     EXPECT_DEATH({ trace::readTrace(ss); }, "unknown trace op");
 }
 
