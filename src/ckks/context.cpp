@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "math/primes.h"
 
 namespace ufc {
@@ -68,6 +69,14 @@ CkksContext::CkksContext(const CkksParams &params)
             qHatInvDigit_[d][i] = invMod(prod, qChain_[i]);
         }
     }
+
+    // Warm the shared twiddle cache for the whole modulus chain up
+    // front (tables build in parallel), so the first homomorphic op
+    // doesn't pay lazy NTT-table construction limb by limb.
+    std::vector<u64> allPrimes = qChain_;
+    allPrimes.insert(allPrimes.end(), pChain_.begin(), pChain_.end());
+    parallelFor(allPrimes.size(),
+                [&](std::size_t i) { ring_->table(allPrimes[i]); });
 }
 
 std::vector<u64>

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Thread pool implementation.
+ */
+
+#include "common/parallel.h"
+
+#include <cstdlib>
+#include <memory>
+
+namespace ufc {
+
+namespace {
+
+/// Set for the lifetime of every pool worker thread.
+thread_local bool tlsInsideWorker = false;
+
+/// Innermost pool the current (non-worker) thread is actively draining a
+/// batch on.  A nested parallelFor on the SAME pool must run inline —
+/// re-entering would overwrite the in-flight batch state under the
+/// workers — while nesting across distinct pools (runner pool -> kernel
+/// pool) still parallelizes.
+thread_local const ThreadPool *tlsActiveCaller = nullptr;
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int extra = threads - 1;
+    workers_.reserve(extra > 0 ? static_cast<std::size_t>(extra) : 0);
+    for (int i = 0; i < extra; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::insideWorker()
+{
+    return tlsInsideWorker;
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty() || count == 1 || tlsInsideWorker ||
+        tlsActiveCaller == this) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        fn_ = &fn;
+        count_ = count;
+        cursor_ = 0;
+        inFlight_ = workers_.size();
+        ++epoch_;
+    }
+    wake_.notify_all();
+
+    // The calling thread drains alongside the workers.
+    const ThreadPool *prevActive = tlsActiveCaller;
+    tlsActiveCaller = this;
+    for (;;) {
+        std::size_t i;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (cursor_ >= count_)
+                break;
+            i = cursor_++;
+        }
+        fn(i);
+    }
+    tlsActiveCaller = prevActive;
+
+    std::unique_lock<std::mutex> lk(mu_);
+    done_.wait(lk, [this] { return inFlight_ == 0; });
+    fn_ = nullptr;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tlsInsideWorker = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *fn;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            wake_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+            if (stop_)
+                return;
+            seen = epoch_;
+            fn = fn_;
+        }
+        for (;;) {
+            std::size_t i;
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                if (cursor_ >= count_)
+                    break;
+                i = cursor_++;
+            }
+            (*fn)(i);
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (--inFlight_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+namespace {
+
+int
+defaultKernelThreads()
+{
+    if (const char *env = std::getenv("UFC_KERNEL_THREADS")) {
+        const int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+struct KernelPool
+{
+    std::mutex mu;
+    std::unique_ptr<ThreadPool> pool;
+    int threads = 0;
+
+    ThreadPool &
+    get()
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!pool) {
+            threads = defaultKernelThreads();
+            pool = std::make_unique<ThreadPool>(threads);
+        }
+        return *pool;
+    }
+
+    void
+    resize(int n)
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        const int want = n >= 1 ? n : defaultKernelThreads();
+        if (pool && threads == want)
+            return;
+        pool.reset(); // joins workers before respawning
+        threads = want;
+        pool = std::make_unique<ThreadPool>(want);
+    }
+
+    int
+    size()
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!pool)
+            threads = defaultKernelThreads();
+        return threads;
+    }
+};
+
+KernelPool &
+kernelPool()
+{
+    static KernelPool kp;
+    return kp;
+}
+
+} // namespace
+
+int
+kernelThreads()
+{
+    return kernelPool().size();
+}
+
+void
+setKernelThreads(int n)
+{
+    kernelPool().resize(n);
+}
+
+void
+parallelFor(std::size_t count, const std::function<void(std::size_t)> &fn)
+{
+    kernelPool().get().parallelFor(count, fn);
+}
+
+} // namespace ufc

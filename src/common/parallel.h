@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared fork-join thread pool.
+ *
+ * One ThreadPool implementation backs both consumers of host-side
+ * parallelism in this repo:
+ *   - the batch experiment runner (src/runner), which builds a pool per
+ *     batch with an explicit thread count, and
+ *   - the RNS kernel layer (src/poly, src/math), which uses the
+ *     process-wide kernel pool via parallelFor() to fan polynomial limb
+ *     operations out across cores.
+ *
+ * Work distribution is an atomic cursor over the index space [0, count):
+ * each worker claims the next unstarted index, so the set of indices
+ * executed is exactly [0, count) regardless of scheduling.  Kernels that
+ * write only to per-index disjoint data are therefore bit-deterministic:
+ * any thread count produces identical output (the property the
+ * differential determinism tests in tests/test_kernels_differential.cpp
+ * lock down).
+ *
+ * Nested parallelism is flattened: a parallelFor() issued from inside a
+ * pool worker, or from a thread already draining a batch on the same
+ * pool, runs inline.  This keeps limb-parallel polynomial ops safe to
+ * call from runner jobs without deadlock or thread explosion, and makes
+ * same-pool re-entry (which would clobber the in-flight batch) safe.
+ */
+
+#ifndef UFC_COMMON_PARALLEL_H
+#define UFC_COMMON_PARALLEL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ufc {
+
+/** Fork-join pool over persistent worker threads. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn `threads` - 1 workers (the calling thread participates in
+     * every parallelFor, so `threads` is the total concurrency).
+     * threads <= 1 creates no workers and parallelFor runs inline.
+     */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency (workers + the calling thread). */
+    int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /**
+     * Run fn(i) for every i in [0, count); blocks until all complete.
+     * Runs inline (serially, in index order) when the pool has one
+     * thread, count <= 1, or the caller is itself a pool worker.
+     * Exceptions thrown by fn terminate (kernels report errors via
+     * UFC_CHECK, which aborts).
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** True when the calling thread is a worker of any ThreadPool. */
+    static bool insideWorker();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    // Current batch; guarded by mu_ except for the atomic cursor.
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::size_t count_ = 0;
+    std::size_t cursor_ = 0;    ///< next unclaimed index (under mu_)
+    std::size_t inFlight_ = 0;  ///< workers still draining the batch
+    std::uint64_t epoch_ = 0;   ///< batch generation counter
+    bool stop_ = false;
+};
+
+/**
+ * Threads the process-wide kernel pool runs with.  Defaults to the
+ * UFC_KERNEL_THREADS environment variable when set, otherwise
+ * std::thread::hardware_concurrency().
+ */
+int kernelThreads();
+
+/**
+ * Resize the kernel pool.  n <= 0 restores the default.  Intended for
+ * program setup and tests; must not race with concurrent parallelFor
+ * callers.
+ */
+void setKernelThreads(int n);
+
+/**
+ * Run fn(i) for i in [0, count) on the process-wide kernel pool.
+ * Deterministic for kernels with per-index disjoint writes (see file
+ * comment).  Runs inline when the pool is serial or when called from
+ * inside any pool worker.
+ */
+void parallelFor(std::size_t count,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace ufc
+
+#endif // UFC_COMMON_PARALLEL_H

@@ -98,6 +98,13 @@ class CgNtt
     // Pre/post twist tables for the negacyclic wrap.
     std::vector<u64> twist_, twistShoup_;
     std::vector<u64> untwist_, untwistShoup_;
+    // Per-stage twiddles (value + Shoup constant) for the default root:
+    // stage t pair j multiplies by stageFwdTw_[t][j >> t].  Transforms
+    // with a non-default root (forwardAutomorphism) recompute twiddles
+    // on the fly instead.
+    std::vector<std::vector<u64>> stageFwdTw_, stageFwdTwShoup_;
+    std::vector<std::vector<u64>> stageInvTw_, stageInvTwShoup_;
+    std::vector<u32> brev_; ///< bit-reversal permutation table
 };
 
 } // namespace ufc

@@ -5,10 +5,25 @@
  * All FHE coefficient math in this repo runs over word-size RNS moduli
  * (q < 2^60).  The Modulus class packages a modulus together with the
  * precomputation needed for fast reduction:
- *   - generic multiplication via 128-bit products,
+ *   - Barrett reduction of 64- and 128-bit values (no hardware divide on
+ *     any hot path),
  *   - Shoup multiplication for multiply-by-known-constant (the hot path of
- *     NTT butterflies, matching the optimized modular multipliers the paper's
- *     hardware uses).
+ *     NTT butterflies, matching the optimized modular multipliers the
+ *     paper's hardware uses), in both exact and lazy (result < 2q) forms,
+ *   - Montgomery multiplication (REDC) for odd moduli, used where a chain
+ *     of data x data products amortizes the domain conversion.
+ *
+ * ## Lazy-reduction invariants (Harvey butterflies)
+ *
+ * The NTT kernels in math/ntt.cpp keep coefficients in a redundant
+ * representation between butterfly stages:
+ *   - forward (Cooley-Tukey) values live in [0, 4q),
+ *   - inverse (Gentleman-Sande) values live in [0, 2q),
+ * and only the final pass renormalizes to [0, q).  mulShoupLazy is the
+ * primitive that makes this sound: for w < q and ANY 64-bit a it returns
+ * a value congruent to a*w that is < 2q, with no conditional correction.
+ * The 4q forward bound therefore requires 4q < 2^64; all moduli here
+ * satisfy the far stricter q < 2^60.
  */
 
 #ifndef UFC_MATH_MOD_ARITH_H
@@ -92,22 +107,39 @@ invMod(u64 a, u64 q)
  *
  * Supports moduli up to 2^60 - 1.  Shoup multiplication multiplies by a
  * constant w given the precomputed w' = floor(w * 2^64 / q); the result is
- * exact for operands in [0, q).
+ * exact for operands in [0, q), and < 2q for arbitrary 64-bit operands in
+ * the lazy form.
  */
 class Modulus
 {
   public:
+    /** Largest supported modulus bit width. */
+    static constexpr int kMaxBits = 60;
+
     Modulus() = default;
 
     explicit Modulus(u64 q) : q_(q)
     {
-        UFC_CHECK(q >= 2 && q < (1ULL << 60), "modulus out of range: " << q);
+        UFC_CHECK(q >= 2 && q < (1ULL << kMaxBits),
+                  "modulus out of range: " << q);
         // floor(2^128 / q) as two 64-bit words, for Barrett reduction of
         // 128-bit values.
         u128 numer = ~static_cast<u128>(0);
         u128 ratio = numer / q_;
         ratioHi_ = static_cast<u64>(ratio >> 64);
         ratioLo_ = static_cast<u64>(ratio);
+        // Montgomery constants exist only for odd q (every NTT prime is
+        // odd; q = 2^k is the one even case the ctor accepts).
+        if (q & 1) {
+            // -q^{-1} mod 2^64 by Newton iteration: x_{k+1} = x_k(2 - q x_k)
+            // doubles the number of correct low bits each step.
+            u64 inv = q;
+            for (int i = 0; i < 5; ++i)
+                inv *= 2 - q * inv;
+            montQInvNeg_ = 0 - inv;
+            montR_ = static_cast<u64>((static_cast<u128>(1) << 64) % q);
+            montR2_ = mulMod(montR_, montR_, q);
+        }
     }
 
     u64 value() const { return q_; }
@@ -120,8 +152,21 @@ class Modulus
     u64 pow(u64 b, u64 e) const { return powMod(b, e, q_); }
     u64 inv(u64 a) const { return invMod(a, q_); }
 
-    /** Reduce an arbitrary 64-bit value into [0, q). */
-    u64 reduce(u64 a) const { return a % q_; }
+    /** Barrett reduction of an arbitrary 64-bit value into [0, q). */
+    u64
+    reduce(u64 a) const
+    {
+        // One-word Barrett using only the high ratio word
+        // (floor(2^64/q), up to 2 ulp low): the estimated quotient
+        // undershoots floor(a/q) by at most a small constant, fixed up
+        // by the correction loop.
+        u64 quot = static_cast<u64>(
+            (static_cast<u128>(a) * ratioHi_) >> 64);
+        u64 r = a - quot * q_;
+        while (r >= q_)
+            r -= q_;
+        return r;
+    }
 
     /** Barrett reduction of a 128-bit value into [0, q). */
     u64
@@ -147,20 +192,79 @@ class Modulus
         return r;
     }
 
-    /** Precompute the Shoup constant for multiply-by-w. */
+    /** Precompute the Shoup constant w' = floor(w * 2^64 / q). */
     u64
     shoupPrecompute(u64 w) const
     {
         return static_cast<u64>((static_cast<u128>(w) << 64) / q_);
     }
 
-    /** Multiply a by constant w using its Shoup precomputation wShoup. */
+    /**
+     * 52-bit Shoup constant floor(w * 2^52 / q) for the AVX-512 IFMA
+     * butterfly kernels (which compute 52x52-bit products); meaningful
+     * for q < 2^50 only.
+     */
+    u64
+    shoupPrecompute52(u64 w) const
+    {
+        return static_cast<u64>((static_cast<u128>(w) << 52) / q_);
+    }
+
+    /** Multiply a by constant w using its Shoup precomputation wShoup.
+     *  Exact: a must be in [0, q)... in fact any a works because the lazy
+     *  form is < 2q and one correction is applied. */
     u64
     mulShoup(u64 a, u64 w, u64 wShoup) const
     {
+        u64 r = mulShoupLazy(a, w, wShoup);
+        return r >= q_ ? r - q_ : r;
+    }
+
+    /**
+     * Lazy Shoup multiplication: returns a*w mod q plus 0 or q (i.e. a
+     * value in [0, 2q)), for w < q and ANY 64-bit a.  The workhorse of
+     * the Harvey NTT butterflies; see the file comment for the
+     * invariants built on it.
+     */
+    u64
+    mulShoupLazy(u64 a, u64 w, u64 wShoup) const
+    {
         u64 approx = static_cast<u64>(
             (static_cast<u128>(a) * wShoup) >> 64);
-        u64 r = a * w - approx * q_;
+        return a * w - approx * q_;
+    }
+
+    // ---- Montgomery arithmetic (odd q only) ----
+
+    /** True when Montgomery helpers are available (q odd). */
+    bool hasMontgomery() const { return montQInvNeg_ != 0; }
+
+    /** R mod q with R = 2^64 (the Montgomery representation of 1). */
+    u64 montOne() const { return montR_; }
+
+    /** Map a (in [0, q)) into the Montgomery domain: a * R mod q. */
+    u64 toMont(u64 a) const { return redc(static_cast<u128>(a) * montR2_); }
+
+    /** Map out of the Montgomery domain: a * R^{-1} mod q. */
+    u64 fromMont(u64 a) const { return redc(static_cast<u128>(a)); }
+
+    /** Product of two Montgomery-domain values, in the domain. */
+    u64
+    mulMont(u64 a, u64 b) const
+    {
+        return redc(static_cast<u128>(a) * b);
+    }
+
+    /**
+     * Montgomery reduction: T * R^{-1} mod q for T < q * 2^64.
+     * Requires q odd.
+     */
+    u64
+    redc(u128 t) const
+    {
+        u64 m = static_cast<u64>(t) * montQInvNeg_;
+        u64 r = static_cast<u64>(
+            (t + static_cast<u128>(m) * q_) >> 64);
         return r >= q_ ? r - q_ : r;
     }
 
@@ -168,6 +272,9 @@ class Modulus
     u64 q_ = 0;
     u64 ratioHi_ = 0;
     u64 ratioLo_ = 0;
+    u64 montQInvNeg_ = 0; ///< -q^{-1} mod 2^64; 0 when q is even
+    u64 montR_ = 0;       ///< 2^64 mod q
+    u64 montR2_ = 0;      ///< 2^128 mod q
 };
 
 } // namespace ufc

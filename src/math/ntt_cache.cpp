@@ -1,0 +1,63 @@
+/**
+ * @file
+ * NTT table cache implementation.
+ */
+
+#include "math/ntt_cache.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+namespace ufc {
+
+namespace {
+
+struct Cache
+{
+    std::mutex mu;
+    // unique_ptr values keep table addresses stable across rehash-free
+    // map growth; the map itself is never erased from.
+    std::map<std::tuple<u64, u64, u64>, std::unique_ptr<NttTable>> tables;
+};
+
+Cache &
+cache()
+{
+    static Cache *c = new Cache; // leaked: tables outlive static teardown
+    return *c;
+}
+
+} // namespace
+
+const NttTable *
+cachedNttTable(u64 n, u64 q, u64 psi)
+{
+    Cache &c = cache();
+    const auto key = std::make_tuple(n, q, psi);
+    {
+        std::lock_guard<std::mutex> lk(c.mu);
+        auto it = c.tables.find(key);
+        if (it != c.tables.end())
+            return it->second.get();
+    }
+    // Build outside the lock so concurrent misses on different keys
+    // construct in parallel; a racing duplicate build of the same key
+    // loses the emplace and is discarded.
+    auto table = std::make_unique<NttTable>(n, q, psi);
+    std::lock_guard<std::mutex> lk(c.mu);
+    auto [it, inserted] = c.tables.emplace(key, std::move(table));
+    (void)inserted;
+    return it->second.get();
+}
+
+std::size_t
+nttCacheSize()
+{
+    Cache &c = cache();
+    std::lock_guard<std::mutex> lk(c.mu);
+    return c.tables.size();
+}
+
+} // namespace ufc

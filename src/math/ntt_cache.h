@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Process-wide NTT twiddle-table cache.
+ *
+ * NttTable construction is expensive (O(N) modular exponentiations plus
+ * four to six precomputed constant vectors), and the same (N, q) pairs
+ * recur everywhere: every RNS limb of every ciphertext, both NTT
+ * variants (classical and constant-geometry), key material, and tests.
+ * cachedNttTable() builds each table once and hands out a stable pointer
+ * that remains valid for the life of the process, so RingContext,
+ * CgNtt's packed transforms, and benchmarks all share one set of
+ * twiddles per modulus.
+ *
+ * The cache is guarded by a mutex, which also makes lazy table creation
+ * safe from limb-parallel code — unlike the per-context lazy map it
+ * replaces.  Lookups after the first are a mutex acquire plus a map
+ * find; callers on hot paths should hold on to the returned pointer.
+ */
+
+#ifndef UFC_MATH_NTT_CACHE_H
+#define UFC_MATH_NTT_CACHE_H
+
+#include "math/ntt.h"
+
+namespace ufc {
+
+/**
+ * Return the shared NttTable for (n, q, psi), building it on first use.
+ * psi = 0 (the default root) is the common case; explicit psi values
+ * (automorphism transforms) get their own cache entries.  The pointer
+ * is never invalidated.
+ */
+const NttTable *cachedNttTable(u64 n, u64 q, u64 psi = 0);
+
+/** Number of distinct tables currently cached (for tests/diagnostics). */
+std::size_t nttCacheSize();
+
+} // namespace ufc
+
+#endif // UFC_MATH_NTT_CACHE_H

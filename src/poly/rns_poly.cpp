@@ -1,23 +1,28 @@
 /**
  * @file
  * RNS polynomial implementation.
+ *
+ * Limb-wise operations (NTT form changes, add/sub/neg/scale, eval-domain
+ * products, automorphisms) act on independent per-modulus arrays, so they
+ * fan out across the process-wide kernel pool with parallelFor.  Each
+ * parallel index writes only its own limb, which keeps results
+ * bit-identical at any thread count (the determinism contract the
+ * kernel differential tests assert).  Sampling stays serial: all limbs
+ * consume one shared sequential Rng stream.
  */
 
 #include "poly/rns_poly.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "math/ntt_cache.h"
 
 namespace ufc {
 
 const NttTable &
 RingContext::table(u64 q) const
 {
-    auto it = tables_.find(q);
-    if (it == tables_.end()) {
-        it = tables_.emplace(q, std::make_unique<NttTable>(degree_, q))
-                 .first;
-    }
-    return *it->second;
+    return *cachedNttTable(degree_, q);
 }
 
 RnsPoly::RnsPoly(const RingContext *ctx, const std::vector<u64> &moduli,
@@ -42,61 +47,59 @@ RnsPoly::moduli() const
 void
 RnsPoly::toEval()
 {
-    for (auto &l : limbs_)
-        l.toEval();
+    parallelFor(limbs_.size(), [&](size_t i) { limbs_[i].toEval(); });
 }
 
 void
 RnsPoly::toCoeff()
 {
-    for (auto &l : limbs_)
-        l.toCoeff();
+    parallelFor(limbs_.size(), [&](size_t i) { limbs_[i].toCoeff(); });
 }
 
 void
 RnsPoly::addInPlace(const RnsPoly &other)
 {
     UFC_CHECK(limbs_.size() == other.limbs_.size(), "limb count mismatch");
-    for (size_t i = 0; i < limbs_.size(); ++i)
-        limbs_[i].addInPlace(other.limbs_[i]);
+    parallelFor(limbs_.size(),
+                [&](size_t i) { limbs_[i].addInPlace(other.limbs_[i]); });
 }
 
 void
 RnsPoly::subInPlace(const RnsPoly &other)
 {
     UFC_CHECK(limbs_.size() == other.limbs_.size(), "limb count mismatch");
-    for (size_t i = 0; i < limbs_.size(); ++i)
-        limbs_[i].subInPlace(other.limbs_[i]);
+    parallelFor(limbs_.size(),
+                [&](size_t i) { limbs_[i].subInPlace(other.limbs_[i]); });
 }
 
 void
 RnsPoly::negInPlace()
 {
-    for (auto &l : limbs_)
-        l.negInPlace();
+    parallelFor(limbs_.size(), [&](size_t i) { limbs_[i].negInPlace(); });
 }
 
 void
 RnsPoly::scaleInPlace(const std::vector<u64> &scalars)
 {
     UFC_CHECK(scalars.size() == limbs_.size(), "scalar count mismatch");
-    for (size_t i = 0; i < limbs_.size(); ++i)
-        limbs_[i].scaleInPlace(scalars[i]);
+    parallelFor(limbs_.size(),
+                [&](size_t i) { limbs_[i].scaleInPlace(scalars[i]); });
 }
 
 void
 RnsPoly::scaleInPlace(u64 scalar)
 {
-    for (auto &l : limbs_)
-        l.scaleInPlace(scalar);
+    parallelFor(limbs_.size(),
+                [&](size_t i) { limbs_[i].scaleInPlace(scalar); });
 }
 
 void
 RnsPoly::mulEvalInPlace(const RnsPoly &other)
 {
     UFC_CHECK(limbs_.size() == other.limbs_.size(), "limb count mismatch");
-    for (size_t i = 0; i < limbs_.size(); ++i)
+    parallelFor(limbs_.size(), [&](size_t i) {
         limbs_[i].mulEvalInPlace(other.limbs_[i]);
+    });
 }
 
 void
@@ -104,8 +107,9 @@ RnsPoly::fmaEval(const RnsPoly &a, const RnsPoly &b)
 {
     UFC_CHECK(limbs_.size() == a.limbs_.size() &&
               limbs_.size() == b.limbs_.size(), "limb count mismatch");
-    for (size_t i = 0; i < limbs_.size(); ++i)
+    parallelFor(limbs_.size(), [&](size_t i) {
         limbs_[i].fmaEval(a.limbs_[i], b.limbs_[i]);
+    });
 }
 
 RnsPoly
@@ -113,9 +117,10 @@ RnsPoly::automorphism(u64 k) const
 {
     RnsPoly out;
     out.ctx_ = ctx_;
-    out.limbs_.reserve(limbs_.size());
-    for (const auto &l : limbs_)
-        out.limbs_.push_back(l.automorphism(k));
+    out.limbs_.resize(limbs_.size());
+    parallelFor(limbs_.size(), [&](size_t i) {
+        out.limbs_[i] = limbs_[i].automorphism(k);
+    });
     return out;
 }
 
@@ -139,14 +144,23 @@ RnsPoly::extendBasis(const std::vector<u64> &newModuli)
     for (u64 q : newModuli)
         extra.emplace_back(&ctx_->table(q), PolyForm::Coeff);
 
-    std::vector<u64> residues(limbs_.size());
-    for (u64 c = 0; c < n; ++c) {
-        for (size_t j = 0; j < limbs_.size(); ++j)
-            residues[j] = limbs_[j][c];
-        const std::vector<u64> conv = baseConvert(residues, from, to);
-        for (size_t i = 0; i < extra.size(); ++i)
-            extra[i][c] = conv[i];
-    }
+    // Base conversion is independent per coefficient; parallelize over
+    // coefficient blocks (blocks write disjoint ranges of every extra
+    // limb, so the result is thread-count invariant).
+    const u64 block = 512;
+    const u64 numBlocks = (n + block - 1) / block;
+    parallelFor(numBlocks, [&](size_t bi) {
+        std::vector<u64> residues(limbs_.size());
+        const u64 lo = bi * block;
+        const u64 hi = lo + block < n ? lo + block : n;
+        for (u64 c = lo; c < hi; ++c) {
+            for (size_t j = 0; j < limbs_.size(); ++j)
+                residues[j] = limbs_[j][c];
+            const std::vector<u64> conv = baseConvert(residues, from, to);
+            for (size_t i = 0; i < extra.size(); ++i)
+                extra[i][c] = conv[i];
+        }
+    });
     for (auto &p : extra)
         limbs_.push_back(std::move(p));
 }

@@ -11,8 +11,6 @@
 #ifndef UFC_POLY_RNS_POLY_H
 #define UFC_POLY_RNS_POLY_H
 
-#include <map>
-#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -21,7 +19,13 @@
 
 namespace ufc {
 
-/** Shared NTT tables for a fixed ring degree across many moduli. */
+/**
+ * Shared NTT tables for a fixed ring degree across many moduli.
+ * Backed by the process-wide twiddle cache (math/ntt_cache.h), so
+ * distinct contexts of the same degree — and the CG-NTT's packed
+ * transforms — all share one table per modulus, and lazy table
+ * creation is safe from limb-parallel code.
+ */
 class RingContext
 {
   public:
@@ -34,7 +38,6 @@ class RingContext
 
   private:
     u64 degree_;
-    mutable std::map<u64, std::unique_ptr<NttTable>> tables_;
 };
 
 /** A polynomial over R_Q in RNS form: one Poly limb per modulus. */

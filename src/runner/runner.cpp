@@ -1,18 +1,21 @@
 /**
  * @file
- * Experiment runner implementation: a fork-join pool over an atomic job
- * cursor.  Each worker claims the next unstarted job and writes its
- * result into the job's slot, so completion order never affects output
- * order and no locking is needed beyond the cursor itself.
+ * Experiment runner implementation, built on the shared fork-join pool
+ * in common/parallel.h.  Each worker claims the next unstarted job and
+ * writes its result into the job's slot, so completion order never
+ * affects output order.  A fresh pool is built per batch with the
+ * configured thread count; kernel-level parallelFor calls issued from
+ * inside a job run inline on the job's worker (see parallel.h), so the
+ * runner's thread budget is the true process concurrency.
  */
 
 #include "runner/runner.h"
 
-#include <atomic>
 #include <chrono>
 #include <thread>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace ufc {
 namespace runner {
@@ -43,39 +46,21 @@ ExperimentRunner::run(const std::vector<Job> &jobs) const
     }
 
     std::vector<sim::RunResult> results(jobs.size());
-    std::atomic<std::size_t> cursor{0};
 
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i =
-                cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= jobs.size())
-                return;
-            const Job &job = jobs[i];
-            sim::RunOptions opts = job.options;
-            if (opts.label.empty())
-                opts.label = job.label;
-            const auto t0 = std::chrono::steady_clock::now();
-            results[i] = job.model->run(*job.trace, opts);
-            if (cfg_.measureHostTime) {
-                const auto t1 = std::chrono::steady_clock::now();
-                results[i].hostSeconds =
-                    std::chrono::duration<double>(t1 - t0).count();
-            }
+    ThreadPool pool(effectiveThreads(jobs.size()));
+    pool.parallelFor(jobs.size(), [&](std::size_t i) {
+        const Job &job = jobs[i];
+        sim::RunOptions opts = job.options;
+        if (opts.label.empty())
+            opts.label = job.label;
+        const auto t0 = std::chrono::steady_clock::now();
+        results[i] = job.model->run(*job.trace, opts);
+        if (cfg_.measureHostTime) {
+            const auto t1 = std::chrono::steady_clock::now();
+            results[i].hostSeconds =
+                std::chrono::duration<double>(t1 - t0).count();
         }
-    };
-
-    const int threads = effectiveThreads(jobs.size());
-    if (threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(static_cast<std::size_t>(threads));
-        for (int t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
-        for (auto &th : pool)
-            th.join();
-    }
+    });
     return results;
 }
 

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Differential determinism tests for the kernel layer.
+ *
+ * The limb-parallel RNS operations promise bit-identical results at any
+ * thread count (work is distributed as disjoint per-index writes, so
+ * scheduling cannot reorder arithmetic).  These tests run a fixed seeded
+ * pipeline of polynomial operations under several kernel-pool sizes and
+ * require exact equality, and pin down the same contract between the
+ * optimized NTT kernel tiers (AVX-512 IFMA / scalar Harvey) and the
+ * reference kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "math/ntt.h"
+#include "math/primes.h"
+#include "poly/rns_poly.h"
+
+namespace ufc {
+namespace {
+
+/** Restores the default kernel pool on scope exit so a failing test
+ *  doesn't leak its thread-count override into later tests. */
+struct KernelThreadsGuard
+{
+    ~KernelThreadsGuard() { setKernelThreads(0); }
+};
+
+std::vector<std::vector<u64>>
+snapshot(const RnsPoly &p)
+{
+    std::vector<std::vector<u64>> out(p.limbCount());
+    for (size_t i = 0; i < p.limbCount(); ++i) {
+        out[i].resize(p.degree());
+        for (u64 c = 0; c < p.degree(); ++c)
+            out[i][c] = p.limb(i)[c];
+    }
+    return out;
+}
+
+/** A fixed, fully seeded pipeline exercising every limb-parallel op:
+ *  NTT form changes, add/sub/neg/scale, eval products, automorphism,
+ *  and basis extension. */
+std::vector<std::vector<u64>>
+runPipeline(u64 n, const std::vector<u64> &moduli,
+            const std::vector<u64> &extModuli)
+{
+    RingContext ring(n);
+    RnsPoly a(&ring, moduli, PolyForm::Coeff);
+    RnsPoly b(&ring, moduli, PolyForm::Coeff);
+    Rng rng(4242);
+    a.sampleUniform(rng);
+    b.sampleUniform(rng);
+
+    a.toEval();
+    b.toEval();
+    a.mulEvalInPlace(b);
+    RnsPoly acc = a;
+    acc.fmaEval(a, b);
+    acc.addInPlace(a);
+    acc.subInPlace(b);
+    acc.negInPlace();
+    acc.scaleInPlace(7);
+    acc = acc.automorphism(5);
+    acc.toCoeff();
+    acc.extendBasis(extModuli);
+    return snapshot(acc);
+}
+
+TEST(KernelDifferential, LimbParallelOpsBitIdenticalToSerial)
+{
+    KernelThreadsGuard guard;
+    const u64 n = 1ULL << 10;
+    std::vector<u64> moduli, ext;
+    for (int i = 0; i < 4; ++i)
+        moduli.push_back(findNttPrime(45, 2 * n, i));
+    for (int i = 4; i < 6; ++i)
+        ext.push_back(findNttPrime(45, 2 * n, i));
+
+    setKernelThreads(1);
+    const auto serial = runPipeline(n, moduli, ext);
+    for (const int threads : {2, 3, 8}) {
+        setKernelThreads(threads);
+        const auto parallel = runPipeline(n, moduli, ext);
+        ASSERT_EQ(parallel, serial) << "threads=" << threads;
+    }
+}
+
+TEST(KernelDifferential, OptimizedNttBitIdenticalToReference)
+{
+    // q < 2^50 dispatches to the IFMA tier where the host supports it,
+    // q >= 2^50 always takes the scalar Harvey tier; both must agree
+    // with the reference kernels on every input, bit for bit.
+    for (const int bits : {45, 59}) {
+        for (const int logN : {4, 6, 10, 13}) {
+            const u64 n = 1ULL << logN;
+            const u64 q = findNttPrime(bits, 2 * n);
+            NttTable ntt(n, q);
+            Rng rng(100 + bits + logN);
+            for (int rep = 0; rep < 8; ++rep) {
+                std::vector<u64> a(n);
+                for (auto &x : a)
+                    x = rng.uniform(q);
+                auto optF = a, refF = a;
+                ntt.forward(optF.data());
+                ntt.forwardReference(refF.data());
+                ASSERT_EQ(optF, refF)
+                    << "forward bits=" << bits << " logN=" << logN;
+                auto optI = a, refI = a;
+                ntt.inverse(optI.data());
+                ntt.inverseReference(refI.data());
+                ASSERT_EQ(optI, refI)
+                    << "inverse bits=" << bits << " logN=" << logN;
+            }
+        }
+    }
+}
+
+TEST(KernelDifferential, SharedTableTransformsAreReentrant)
+{
+    // Concurrent transforms of distinct arrays against one shared table
+    // must be independent (per-thread scratch): the parallel results
+    // must equal the serial ones element for element.
+    KernelThreadsGuard guard;
+    const u64 n = 1ULL << 12;
+    const u64 q = findNttPrime(45, 2 * n);
+    NttTable ntt(n, q);
+    Rng rng(777);
+    const size_t count = 16;
+    std::vector<std::vector<u64>> polys(count);
+    for (auto &p : polys) {
+        p.resize(n);
+        for (auto &x : p)
+            x = rng.uniform(q);
+    }
+
+    auto serial = polys;
+    for (auto &p : serial)
+        ntt.forward(p);
+
+    setKernelThreads(8);
+    auto parallel = polys;
+    parallelFor(count, [&](size_t i) { ntt.forward(parallel[i]); });
+    EXPECT_EQ(parallel, serial);
+}
+
+TEST(KernelDifferential, ParallelForRunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4);
+    const size_t count = 10000;
+    std::vector<int> hits(count, 0);
+    pool.parallelFor(count, [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < count; ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(KernelDifferential, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    std::vector<int> outer(64, 0);
+    pool.parallelFor(64, [&](size_t i) {
+        // A nested parallelFor from a worker must execute inline (and
+        // to completion) rather than re-entering the pool.
+        std::vector<int> inner(8, 0);
+        pool.parallelFor(8, [&](size_t j) { ++inner[j]; });
+        int sum = 0;
+        for (int x : inner)
+            sum += x;
+        outer[i] = sum;
+    });
+    for (size_t i = 0; i < outer.size(); ++i)
+        ASSERT_EQ(outer[i], 8) << "index " << i;
+}
+
+} // namespace
+} // namespace ufc

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Golden known-answer tests for the kernel layer.  Every expected value
+ * below is a frozen constant, so any change to kernel numerics —
+ * twiddle generation, reduction algorithms, Montgomery constants, CKKS
+ * encoding — shows up as an explicit diff against recorded history
+ * rather than a silent behavior change.
+ *
+ * Provenance: constants were produced by the pre-existing (reference)
+ * kernels and cross-checked against the direct evaluation definitions
+ * (NTT output k = a(psi^(2k+1)); reductions against hardware divide).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ckks/evaluator.h"
+#include "common/rng.h"
+#include "math/mod_arith.h"
+#include "math/ntt.h"
+
+namespace ufc {
+namespace {
+
+// ---------------------------------------------------------------------
+// Small fixed NTT vectors: N = 8, q = 257, psi = 2 (2^8 = -1 mod 257).
+// ---------------------------------------------------------------------
+
+TEST(KernelGolden, NttForwardFixedVectorN8)
+{
+    NttTable ntt(8, 257, 2);
+    ASSERT_EQ(ntt.psi(), 2u);
+
+    std::vector<u64> a{1, 2, 3, 4, 5, 6, 7, 8};
+    ntt.forward(a);
+    const std::vector<u64> expect{251, 151, 253, 149, 60, 131, 17, 24};
+    EXPECT_EQ(a, expect);
+
+    ntt.inverse(a);
+    EXPECT_EQ(a, (std::vector<u64>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(KernelGolden, NttForwardDeltaIsAllOnes)
+{
+    // The constant polynomial 1 evaluates to 1 everywhere.
+    NttTable ntt(8, 257, 2);
+    std::vector<u64> delta{1, 0, 0, 0, 0, 0, 0, 0};
+    ntt.forward(delta);
+    EXPECT_EQ(delta, (std::vector<u64>{1, 1, 1, 1, 1, 1, 1, 1}));
+}
+
+TEST(KernelGolden, NttForwardMonomialXIsOddPsiPowers)
+{
+    // X evaluates to psi^(2k+1) at slot k: the natural-order convention.
+    NttTable ntt(8, 257, 2);
+    std::vector<u64> x{0, 1, 0, 0, 0, 0, 0, 0};
+    ntt.forward(x);
+    EXPECT_EQ(x, (std::vector<u64>{2, 8, 32, 128, 255, 249, 225, 129}));
+}
+
+// ---------------------------------------------------------------------
+// Reduction edge values, q = 2^59 - 55 (widest supported modulus class).
+// ---------------------------------------------------------------------
+
+TEST(KernelGolden, BarrettReduce64EdgeValues)
+{
+    const u64 q = (1ULL << 59) - 55;
+    const Modulus mod(q);
+    EXPECT_EQ(mod.reduce(u64{0}), 0u);
+    EXPECT_EQ(mod.reduce(u64{1}), 1u);
+    EXPECT_EQ(mod.reduce(q - 1), q - 1);
+    EXPECT_EQ(mod.reduce(q), 0u);
+    EXPECT_EQ(mod.reduce(q + 1), 1u);
+    EXPECT_EQ(mod.reduce(2 * q - 1), q - 1);
+    EXPECT_EQ(mod.reduce(2 * q), 0u);
+    EXPECT_EQ(mod.reduce(u64{1} << 63), 880u);
+    EXPECT_EQ(mod.reduce(~u64{0}), 1759u);
+}
+
+TEST(KernelGolden, BarrettReduce128EdgeValues)
+{
+    const u64 q = (1ULL << 59) - 55;
+    const Modulus mod(q);
+    // (q-1)^2 = (-1)^2 = 1 mod q.
+    EXPECT_EQ(mod.reduce(static_cast<u128>(q - 1) * (q - 1)), 1u);
+    EXPECT_EQ(mod.reduce(~static_cast<u128>(0)), 3097599u);
+}
+
+TEST(KernelGolden, ShoupMulEdgeValues)
+{
+    const u64 q = (1ULL << 59) - 55;
+    const Modulus mod(q);
+    const u64 w = q - 1;
+    const u64 wShoup = mod.shoupPrecompute(w);
+    EXPECT_EQ(wShoup, 18446744073709551583ULL);
+    // (-1) * (-1): the lazy form returns the q-shifted representative.
+    EXPECT_EQ(mod.mulShoupLazy(q - 1, w, wShoup), q + 1);
+    EXPECT_EQ(mod.mulShoup(q - 1, w, wShoup), 1u);
+    EXPECT_EQ(mod.mulShoup(0, w, wShoup), 0u);
+    EXPECT_EQ(mod.mulShoup(1, w, wShoup), q - 1);
+}
+
+TEST(KernelGolden, MontgomeryEdgeValues)
+{
+    const u64 q = (1ULL << 59) - 55;
+    const Modulus mod(q);
+    ASSERT_TRUE(mod.hasMontgomery());
+    // 2^64 mod q.
+    EXPECT_EQ(mod.montOne(), 1760u);
+    EXPECT_EQ(mod.toMont(1), 1760u);
+    EXPECT_EQ(mod.toMont(0), 0u);
+    EXPECT_EQ(mod.toMont(q - 1), 576460752303421673ULL);
+    EXPECT_EQ(mod.fromMont(mod.toMont(q - 1)), q - 1);
+    EXPECT_EQ(mod.fromMont(mod.mulMont(mod.toMont(2), mod.toMont(3))), 6u);
+}
+
+// ---------------------------------------------------------------------
+// One CKKS encode -> encrypt -> multiply -> rescale -> decode chain with
+// fixed inputs and a seeded RNG; locks the numerics of the full pipeline
+// (encoder FFT, NTT kernels, key switching, rescale rounding).
+// ---------------------------------------------------------------------
+
+TEST(KernelGolden, CkksEncodeMulRescaleChain)
+{
+    using namespace ckks;
+    CkksContext ctx(CkksParams::testFast());
+    CkksEncoder encoder(&ctx);
+    Rng rng(99);
+    CkksKeyGenerator keygen(&ctx, rng);
+    CkksEncryptor encryptor(&ctx, &keygen.secretKey(), rng);
+    CkksEvaluator eval(&ctx);
+    const auto relin = keygen.makeRelinKey();
+
+    std::vector<double> va(ctx.slots()), vb(ctx.slots());
+    for (size_t i = 0; i < va.size(); ++i) {
+        va[i] = 0.5 + 0.001 * static_cast<double>(i % 97);
+        vb[i] = 1.25 - 0.002 * static_cast<double>(i % 89);
+    }
+    const auto pa = encoder.encode(va, ctx.levels(), ctx.scale());
+    const auto pb = encoder.encode(vb, ctx.levels(), ctx.scale());
+
+    // Frozen first coefficients of the limb-0 encoding (eval form).
+    const std::vector<u64> expectCoeffs{
+        3920001961169507ULL,  5204230729603916ULL,  9141531009869672ULL,
+        12562074613624618ULL, 28163077462280370ULL, 35790164201144753ULL};
+    for (size_t c = 0; c < expectCoeffs.size(); ++c)
+        EXPECT_EQ(pa.poly.limb(0)[c], expectCoeffs[c]) << "coeff " << c;
+
+    auto ca = encryptor.encrypt(pa);
+    auto cb = encryptor.encrypt(pb);
+    auto prod = eval.rescale(eval.multiply(ca, cb, relin));
+    EXPECT_EQ(prod.c0.limbCount(), static_cast<size_t>(ctx.levels()) - 1);
+
+    const auto dec = encoder.decode(encryptor.decrypt(prod));
+    // Frozen decoded slots (slot i carries va[i]*vb[i] plus the recorded
+    // noise of this exact seeded run).
+    const double expectReal[] = {0.624999994779, 0.625247986120,
+                                 0.625491997935, 0.625731999964,
+                                 0.625968000860, 0.626200000278};
+    for (int i = 0; i < 6; ++i) {
+        EXPECT_NEAR(dec[i].real(), expectReal[i], 1e-6) << "slot " << i;
+        EXPECT_NEAR(dec[i].imag(), 0.0, 1e-6) << "slot " << i;
+        // And the chain still computes the right product.
+        EXPECT_NEAR(dec[i].real(), va[i] * vb[i], 1e-5) << "slot " << i;
+    }
+}
+
+} // namespace
+} // namespace ufc
