@@ -3,25 +3,45 @@
  * Figure 11: the hybrid k-NN workload on UFC versus the composed
  * SHARP + Strix system (PCIe 5.0 x16 between the chips) for TFHE
  * parameter sets T1-T4.
+ *
+ *   ./build/bench/fig11_hybrid_knn
+ *   ./build/bench/fig11_hybrid_knn --timeline knn_t4.json
+ *       also export the UFC run's event stream (last parameter set) as
+ *       Chrome trace-event JSON; open it in https://ui.perfetto.dev
  */
 
 #include <cmath>
+#include <cstring>
+#include <string>
 
 #include "bench_util.h"
 #include "sim/accelerator.h"
+#include "sim/timeline.h"
 #include "workloads/workloads.h"
 
 using namespace ufc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string timelinePath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--timeline") == 0 && i + 1 < argc) {
+            timelinePath = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--timeline OUT.json]\n", argv[0]);
+            return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
+        }
+    }
+
     bench::header("Figure 11: hybrid k-NN, UFC vs composed SHARP+Strix",
                   "UFC paper, Figure 11");
 
     const auto cp = ckks::CkksParams::c2();
     sim::UfcModel ufcm;
     sim::ComposedModel composed;
+    sim::Timeline timeline;
 
     std::printf("%-10s %12s %14s | %7s %7s %7s\n", "params",
                 "UFC (ms)", "SHARP+Strix", "delay", "EDP", "EDAP");
@@ -32,7 +52,10 @@ main()
                            tfhe::TfheParams::t3(),
                            tfhe::TfheParams::t4()}) {
         const auto tr = workloads::hybridKnn(cp, tp);
-        const auto u = ufcm.run(tr);
+        sim::RunOptions uopts;
+        if (!timelinePath.empty())
+            uopts.timeline = &timeline; // last set's run wins (T4)
+        const auto u = ufcm.run(tr, uopts);
         const auto c = composed.run(tr);
         const double delay = c.seconds / u.seconds;
         const double edp = c.edp() / u.edp();
@@ -49,6 +72,11 @@ main()
     std::printf("\naverage delay T1-T3: %.2fx   average EDP: %.2fx   "
                 "average EDAP: %.2fx\n", sumDelay13 / 3.0, sumEdp / 4.0,
                 sumEdap / 4.0);
+    if (!timelinePath.empty()) {
+        timeline.saveChromeTrace(timelinePath);
+        std::printf("wrote %s (%zu slices; open in ui.perfetto.dev)\n",
+                    timelinePath.c_str(), timeline.slices().size());
+    }
     bench::footnote("paper: ~1.04x at T1-T3, 2.8x at T4; 3.1x EDP and "
                     "3.7x EDAP over the composed system.");
     return 0;

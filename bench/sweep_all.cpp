@@ -41,6 +41,8 @@ identicalSimulated(const sim::RunResult &a, const sim::RunResult &b)
         a.workload != b.workload || a.seconds != b.seconds ||
         a.energyJ != b.energyJ || a.powerW != b.powerW ||
         a.areaMm2 != b.areaMm2 ||
+        a.energyStaticJ != b.energyStaticJ ||
+        a.energyHbmJ != b.energyHbmJ ||
         a.stats.totalCycles != b.stats.totalCycles ||
         a.stats.hbmBytes != b.stats.hbmBytes ||
         a.stats.hbmBusyCycles != b.stats.hbmBusyCycles ||
@@ -50,7 +52,23 @@ identicalSimulated(const sim::RunResult &a, const sim::RunResult &b)
     for (int i = 0; i < isa::kNumResources; ++i)
         if (a.stats.busyCycles[i] != b.stats.busyCycles[i])
             return false;
-    return true;
+    for (int i = 0; i < isa::kNumHwOps; ++i) {
+        const auto &ao = a.stats.opStats[i];
+        const auto &bo = b.stats.opStats[i];
+        if (ao.count != bo.count || ao.cycles != bo.cycles ||
+            ao.computeCycles != bo.computeCycles ||
+            ao.stallCycles != bo.stallCycles ||
+            ao.fillCycles != bo.fillCycles || ao.hbmBytes != bo.hbmBytes)
+            return false;
+    }
+    const auto &as = a.stats.stalls;
+    const auto &bs = b.stats.stalls;
+    return as.hbmBound == bs.hbmBound &&
+           as.dependency == bs.dependency &&
+           as.pipelineFill == bs.pipelineFill &&
+           as.spadSpillCycles == bs.spadSpillCycles &&
+           as.spadWritebackBytes == bs.spadWritebackBytes &&
+           as.spadEvictions == bs.spadEvictions;
 }
 
 void
@@ -66,6 +84,8 @@ usage(const char *argv0)
         "fig13|fig14); repeatable\n"
         "  --compare-serial  run parallel then serial, verify identical\n"
         "                    results, report the speedup\n"
+        "  --progress        per-job status lines on stderr\n"
+        "                    (\"[jobs_done/jobs_total] <label> ...\")\n"
         "  --list            print the selected jobs and exit\n",
         argv0);
 }
@@ -104,6 +124,8 @@ main(int argc, char **argv)
             only.push_back(value());
         else if (arg == "--compare-serial")
             compareSerial = true;
+        else if (arg == "--progress")
+            cfg.progress = true;
         else if (arg == "--list")
             list = true;
         else {

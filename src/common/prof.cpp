@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Host-profiler registry implementation.
+ */
+
+#include "common/prof.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace ufc {
+namespace prof {
+
+namespace {
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::atomic<Counter *> &
+registryHead()
+{
+    static std::atomic<Counter *> head{nullptr};
+    return head;
+}
+
+/** -1 = follow UFC_PROFILE, 0/1 = forced by setEnabled(). */
+std::atomic<int> gOverride{-1};
+
+bool
+envEnabled()
+{
+    static const bool on = [] {
+        const char *v = std::getenv("UFC_PROFILE");
+        return v && v[0] && std::strcmp(v, "0") != 0;
+    }();
+    return on;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    const int ov = gOverride.load(std::memory_order_relaxed);
+    if (ov >= 0)
+        return ov != 0;
+    return envEnabled();
+}
+
+void
+setEnabled(bool on)
+{
+    gOverride.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void
+registerCounter(Counter *c)
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    // Idempotence: skip if already linked (next set or currently head).
+    if (c->next || registryHead().load(std::memory_order_relaxed) == c)
+        return;
+    c->next = registryHead().load(std::memory_order_relaxed);
+    registryHead().store(c, std::memory_order_release);
+}
+
+void
+reset()
+{
+    for (Counter *c = registryHead().load(std::memory_order_acquire); c;
+         c = c->next) {
+        c->calls.store(0, std::memory_order_relaxed);
+        c->ns.store(0, std::memory_order_relaxed);
+    }
+}
+
+bool
+hasSamples()
+{
+    for (Counter *c = registryHead().load(std::memory_order_acquire); c;
+         c = c->next) {
+        if (c->calls.load(std::memory_order_relaxed) > 0)
+            return true;
+    }
+    return false;
+}
+
+void
+report(std::ostream &os)
+{
+    struct Row
+    {
+        const char *name;
+        unsigned long long calls;
+        unsigned long long ns;
+    };
+    std::vector<Row> rows;
+    for (Counter *c = registryHead().load(std::memory_order_acquire); c;
+         c = c->next) {
+        const auto calls = c->calls.load(std::memory_order_relaxed);
+        if (calls == 0)
+            continue;
+        rows.push_back({c->name, calls, c->ns.load(std::memory_order_relaxed)});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) { return a.ns > b.ns; });
+
+    os << "host profile (UFC_PROFILE):\n";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  %-32s %12s %12s %12s\n", "scope",
+                  "calls", "total_ms", "mean_us");
+    os << buf;
+    for (const auto &r : rows) {
+        std::snprintf(buf, sizeof(buf), "  %-32s %12llu %12.3f %12.3f\n",
+                      r.name, r.calls, r.ns / 1e6,
+                      r.ns / 1e3 / static_cast<double>(r.calls));
+        os << buf;
+    }
+    if (rows.empty())
+        os << "  (no samples)\n";
+}
+
+} // namespace prof
+} // namespace ufc

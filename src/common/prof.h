@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Host-side scoped-timer / counter registry (simulator self-profiling).
+ *
+ * The cycle engine profiles the *simulated* machine; this registry
+ * profiles the *simulator itself*: how much host wall-clock the NTT/RNS
+ * kernels and runner jobs consume.  It is off by default and enabled by
+ * the UFC_PROFILE=1 environment variable (or setEnabled()); when off, an
+ * instrumented scope costs one predicted-not-taken branch on a cached
+ * bool — cheap enough to leave UFC_PROF_SCOPE in hot kernels.
+ *
+ * Thread safety: counters are atomics with relaxed ordering, so kernels
+ * running on the shared ThreadPool accumulate without synchronization
+ * overhead; registration is serialized behind a mutex and happens once
+ * per site (function-local static).  Profiling only observes — it never
+ * changes scheduling or results.
+ */
+
+#ifndef UFC_COMMON_PROF_H
+#define UFC_COMMON_PROF_H
+
+#include <atomic>
+#include <chrono>
+#include <iosfwd>
+
+namespace ufc {
+namespace prof {
+
+/** One named accumulator; site-owned, registry-linked, never freed. */
+struct Counter
+{
+    const char *name;
+    std::atomic<unsigned long long> calls{0};
+    std::atomic<unsigned long long> ns{0};
+    Counter *next = nullptr; ///< registry list link (set once)
+
+    explicit Counter(const char *n) : name(n) {}
+
+    void
+    add(unsigned long long deltaNs)
+    {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        ns.fetch_add(deltaNs, std::memory_order_relaxed);
+    }
+};
+
+/** Whether profiling is on (UFC_PROFILE=1 at first query, or an explicit
+ *  setEnabled()).  The env variable is read once and cached. */
+bool enabled();
+
+/** Programmatic override (tests; takes precedence over the env). */
+void setEnabled(bool on);
+
+/** Link a counter into the global registry (idempotent per counter). */
+void registerCounter(Counter *c);
+
+/** Zero every registered counter (the registry itself persists). */
+void reset();
+
+/** Write a "calls / total ms / mean us" table of every counter with at
+ *  least one call, sorted by total time descending. */
+void report(std::ostream &os);
+
+/** True when any registered counter has recorded a call. */
+bool hasSamples();
+
+/** RAII timer charging its lifetime to a Counter when profiling is on. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Counter &c)
+        : counter_(enabled() ? &c : nullptr)
+    {
+        if (counter_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedTimer()
+    {
+        if (counter_) {
+            const auto dt = std::chrono::steady_clock::now() - start_;
+            counter_->add(static_cast<unsigned long long>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                    .count()));
+        }
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Counter *counter_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+namespace detail {
+
+/** First-use registration helper for the macro below. */
+inline Counter &
+site(Counter &c)
+{
+    registerCounter(&c);
+    return c;
+}
+
+} // namespace detail
+
+/**
+ * Instrument the enclosing scope under `name` (a string literal).  The
+ * counter is a function-local static registered on first execution, so
+ * the site costs nothing before it first runs.
+ */
+#define UFC_PROF_CONCAT_(a, b) a##b
+#define UFC_PROF_CONCAT(a, b) UFC_PROF_CONCAT_(a, b)
+#define UFC_PROF_SCOPE(name)                                              \
+    static ::ufc::prof::Counter &UFC_PROF_CONCAT(ufcProfCounter_,         \
+                                                 __LINE__) =              \
+        ::ufc::prof::detail::site(                                        \
+            *new ::ufc::prof::Counter(name)); /* registry-owned */        \
+    ::ufc::prof::ScopedTimer UFC_PROF_CONCAT(ufcProfTimer_, __LINE__)(    \
+        UFC_PROF_CONCAT(ufcProfCounter_, __LINE__))
+
+} // namespace prof
+} // namespace ufc
+
+#endif // UFC_COMMON_PROF_H

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "trace/serialize.h"
 
 namespace ufc {
 namespace compiler {
@@ -44,8 +45,30 @@ Lowering::Lowering(const trace::Trace *tr, const LoweringOptions &opts,
 void
 Lowering::run()
 {
-    for (const auto &op : trace_->ops)
-        lowerOp(op);
+    // Interleave the workload's region markers with the op stream (a mark
+    // at opIndex i fires before op i is lowered), and bracket every
+    // high-level op in a phase named by its stable mnemonic, so the
+    // exported timeline can be read at trace granularity.
+    const auto &marks = trace_->phases;
+    size_t next = 0;
+    for (size_t i = 0; i < trace_->ops.size(); ++i) {
+        while (next < marks.size() && marks[next].opIndex <= i) {
+            if (marks[next].begin)
+                sink_->beginPhase(marks[next].name.c_str());
+            else
+                sink_->endPhase();
+            ++next;
+        }
+        sink_->beginPhase(trace::opKindName(trace_->ops[i].kind));
+        lowerOp(trace_->ops[i]);
+        sink_->endPhase();
+    }
+    for (; next < marks.size(); ++next) {
+        if (marks[next].begin)
+            sink_->beginPhase(marks[next].name.c_str());
+        else
+            sink_->endPhase();
+    }
 }
 
 void
@@ -203,6 +226,7 @@ void
 Lowering::ckksKeySwitch(int limbs, int polys, u64 keyBufferBase)
 {
     // Hybrid key switching at `limbs` active q limbs.
+    sink_->beginPhase("key_switch");
     const int K = specialK_;
     const int digits = (limbs + alpha_ - 1) / alpha_;
     const u64 wordsPerLimb = n_ * wCkks_;
@@ -257,6 +281,7 @@ Lowering::ckksKeySwitch(int limbs, int polys, u64 keyBufferBase)
     emit(HwOp::Ntt, logN_, polys * limbs,
          static_cast<u64>(polys) * limbs * wordsPerLimb,
          static_cast<u64>(polys) * limbs * wordsPerLimb * logN_ / 2);
+    sink_->endPhase();
 }
 
 void
@@ -395,6 +420,7 @@ Lowering::tfhePbs(const TraceOp &op)
     const bool tvlp = opts_.parallelism == Parallelism::TvLP;
     const int outer = tvlp ? static_cast<int>(nLwe) : groups;
     const int inner = tvlp ? groups : static_cast<int>(nLwe);
+    sink_->beginPhase("blind_rotate");
     for (int o = 0; o < outer; ++o) {
         for (int in = 0; in < inner; ++in) {
             const u32 i = static_cast<u32>(tvlp ? o : in);
@@ -444,6 +470,7 @@ Lowering::tfhePbs(const TraceOp &op)
             emit(HwOp::Ewma, logNt_, 2 * b, accWords, accWords);
         }
     }
+    sink_->endPhase();
 
     // Extraction on the near-memory unit, then LWE key switch.
     emit(HwOp::Extract, logNt_, op.count,

@@ -37,7 +37,34 @@ enum class HwOp
     Reduce,     ///< LWE reduction / accumulation (LWEU)
     Shuffle,    ///< inter-channel crossbar data shuffling
     KeyGenOtf,  ///< on-the-fly key / twiddle generation
+    NumHwOps,
 };
+
+constexpr int kNumHwOps = static_cast<int>(HwOp::NumHwOps);
+
+/** Stable lower-case opcode mnemonic used by the attribution tables
+ *  (per-opcode stats export, timeline slices, inspect_trace). */
+constexpr const char *
+opName(HwOp op)
+{
+    switch (op) {
+      case HwOp::Ntt: return "ntt";
+      case HwOp::Intt: return "intt";
+      case HwOp::NttAuto: return "ntt_auto";
+      case HwOp::Ewmm: return "ewmm";
+      case HwOp::Ewma: return "ewma";
+      case HwOp::EwScale: return "ew_scale";
+      case HwOp::BconvMac: return "bconv_mac";
+      case HwOp::Decomp: return "decomp";
+      case HwOp::MonomialMul: return "monomial_mul";
+      case HwOp::Extract: return "extract";
+      case HwOp::Reduce: return "reduce";
+      case HwOp::Shuffle: return "shuffle";
+      case HwOp::KeyGenOtf: return "keygen_otf";
+      case HwOp::NumHwOps: break;
+    }
+    return "unknown";
+}
 
 /** Hardware resources instructions occupy (for utilization accounting). */
 enum class Resource
@@ -95,6 +122,16 @@ class InstSink
   public:
     virtual ~InstSink() = default;
     virtual void issue(const HwInst &inst) = 0;
+
+    /**
+     * Optional phase markers bracketing a region of the instruction
+     * stream (a high-level trace op, a key switch, a blind rotation).
+     * Phases nest strictly; sinks that don't track them inherit these
+     * no-ops.  `name` must outlive the sink's run (callers pass string
+     * literals or the stable mnemonics from trace/serialize.h).
+     */
+    virtual void beginPhase(const char *name) { (void)name; }
+    virtual void endPhase() {}
 };
 
 } // namespace isa

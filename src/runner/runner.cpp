@@ -11,11 +11,15 @@
 
 #include "runner/runner.h"
 
+#include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <iostream>
 #include <thread>
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/prof.h"
 
 namespace ufc {
 namespace runner {
@@ -47,20 +51,35 @@ ExperimentRunner::run(const std::vector<Job> &jobs) const
 
     std::vector<sim::RunResult> results(jobs.size());
 
+    std::atomic<std::size_t> jobsDone{0};
     ThreadPool pool(effectiveThreads(jobs.size()));
     pool.parallelFor(jobs.size(), [&](std::size_t i) {
+        UFC_PROF_SCOPE("runner.job");
         const Job &job = jobs[i];
         sim::RunOptions opts = job.options;
         if (opts.label.empty())
             opts.label = job.label;
         const auto t0 = std::chrono::steady_clock::now();
         results[i] = job.model->run(*job.trace, opts);
-        if (cfg_.measureHostTime) {
-            const auto t1 = std::chrono::steady_clock::now();
-            results[i].hostSeconds =
-                std::chrono::duration<double>(t1 - t0).count();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs = std::chrono::duration<double>(t1 - t0).count();
+        if (cfg_.measureHostTime)
+            results[i].hostSeconds = secs;
+        if (cfg_.progress) {
+            // One line per completed job; fprintf keeps the line atomic
+            // across workers (stderr is unbuffered per C).
+            const std::size_t done =
+                jobsDone.fetch_add(1, std::memory_order_relaxed) + 1;
+            std::fprintf(stderr,
+                         "[%zu/%zu] %s machine=%s workload=%s "
+                         "host_seconds=%.3f\n",
+                         done, jobs.size(), opts.label.c_str(),
+                         results[i].machine.c_str(),
+                         results[i].workload.c_str(), secs);
         }
     });
+    if (cfg_.progress && prof::enabled() && prof::hasSamples())
+        prof::report(std::cerr);
     return results;
 }
 

@@ -47,6 +47,11 @@ struct RunnerConfig
     int threads = 0;
     /// Fill RunResult::hostSeconds with per-job wall-clock.
     bool measureHostTime = true;
+    /// Emit one machine-readable status line to stderr as each job
+    /// finishes ("[jobs_done/jobs_total] <label> ..."), plus a host
+    /// profile report after the batch when UFC_PROFILE is on.  Progress
+    /// output never affects results (stderr only, completion order).
+    bool progress = false;
 };
 
 /**

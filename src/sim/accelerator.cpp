@@ -12,6 +12,7 @@
 #include "sim/accelerator.h"
 
 #include "common/check.h"
+#include "sim/timeline.h"
 
 namespace ufc {
 namespace sim {
@@ -23,10 +24,16 @@ RunStats
 lowerAndRun(const trace::Trace &tr, const compiler::LoweringOptions &opts,
             const MachinePerf &perf, const RunOptions &runOpts)
 {
-    const int window = runOpts.prefetchWindow > 0
+    // -1 is the "model default" sentinel; 0 is an explicit request for a
+    // no-lookahead memory engine.
+    const int window = runOpts.prefetchWindow >= 0
                            ? runOpts.prefetchWindow
                            : CycleEngine::kDefaultPrefetchWindow;
     CycleEngine engine(&perf, window);
+    if (runOpts.timeline) {
+        runOpts.timeline->clear();
+        engine.setTimeline(runOpts.timeline);
+    }
     compiler::Lowering lowering(&tr, opts, &engine);
     lowering.run();
     return engine.finish();
@@ -83,6 +90,8 @@ UfcModel::run(const trace::Trace &tr, const RunOptions &opts) const
     r.seconds = cost.seconds(stats);
     r.powerW = cost.averagePowerW(stats);
     r.energyJ = cost.energyJ(stats);
+    r.energyStaticJ = cost.staticEnergyJ(stats);
+    r.energyHbmJ = cost.hbmEnergyJ(stats);
     r.areaMm2 = cost.areaMm2();
     return r;
 }
@@ -117,6 +126,8 @@ SharpModel::run(const trace::Trace &tr, const RunOptions &opts) const
     r.seconds = cost.seconds(stats);
     r.powerW = cost.averagePowerW(stats);
     r.energyJ = cost.energyJ(stats);
+    r.energyStaticJ = cost.staticEnergyJ(stats);
+    r.energyHbmJ = cost.hbmEnergyJ(stats);
     r.areaMm2 = cfg_.areaMm2;
     return r;
 }
@@ -152,6 +163,8 @@ StrixModel::run(const trace::Trace &tr, const RunOptions &opts) const
     r.seconds = cost.seconds(stats);
     r.powerW = cost.averagePowerW(stats);
     r.energyJ = cost.energyJ(stats);
+    r.energyStaticJ = cost.staticEnergyJ(stats);
+    r.energyHbmJ = cost.hbmEnergyJ(stats);
     r.areaMm2 = cfg_.areaMm2;
     return r;
 }
@@ -205,10 +218,13 @@ ComposedModel::run(const trace::Trace &tr, const RunOptions &opts) const
         }
     }
 
-    // Sub-runs inherit the engine knobs but not the label: the composed
-    // result is the one the caller asked for.
+    // Sub-runs inherit the engine knobs but not the label (the composed
+    // result is the one the caller asked for) and not the timeline (the
+    // two chips run in independent clock domains, so interleaving their
+    // slices on one time axis would be misleading).
     RunOptions subOpts = opts;
     subOpts.label.clear();
+    subOpts.timeline = nullptr;
 
     RunResult sharpRes;
     if (!ckksPart.ops.empty())
@@ -227,11 +243,16 @@ ComposedModel::run(const trace::Trace &tr, const RunOptions &opts) const
     // The two chips pipeline independent queries/batches, so steady-state
     // time is the slower side plus the link time; energy still sums.
     r.seconds = std::max(sharpRes.seconds, strixRes.seconds) + pcieSeconds;
-    r.energyJ = sharpRes.energyJ + strixRes.energyJ +
-                pcieBytes * 10.0e-12; // ~10 pJ/byte link energy
+    const double pcieEnergyJ = pcieBytes * 10.0e-12; // ~10 pJ/byte link
+    r.energyJ = sharpRes.energyJ + strixRes.energyJ + pcieEnergyJ;
     // Idle chip burns static power while the other one works.
-    r.energyJ += sharp_.staticW * strixRes.seconds;
-    r.energyJ += strix_.staticW * sharpRes.seconds;
+    const double idleStaticJ = sharp_.staticW * strixRes.seconds +
+                               strix_.staticW * sharpRes.seconds;
+    r.energyJ += idleStaticJ;
+    r.energyStaticJ =
+        sharpRes.energyStaticJ + strixRes.energyStaticJ + idleStaticJ;
+    // Off-chip component: both chips' HBM plus the PCIe link.
+    r.energyHbmJ = sharpRes.energyHbmJ + strixRes.energyHbmJ + pcieEnergyJ;
     r.areaMm2 = areaMm2();
     r.powerW = r.seconds > 0 ? r.energyJ / r.seconds : 0.0;
     return r;

@@ -80,6 +80,18 @@ UfcCostModel::energyJ(const RunStats &stats) const
 }
 
 double
+UfcCostModel::staticEnergyJ(const RunStats &stats) const
+{
+    return kStaticW * seconds(stats);
+}
+
+double
+UfcCostModel::hbmEnergyJ(const RunStats &stats) const
+{
+    return stats.hbmBytes * kHbmPjPerByte * 1e-12;
+}
+
+double
 BaselineCost::averagePowerW(const RunStats &stats) const
 {
     const double bfUtil = stats.utilization(isa::Resource::Butterfly);
@@ -106,6 +118,18 @@ double
 BaselineCost::energyJ(const RunStats &stats) const
 {
     return averagePowerW(stats) * seconds(stats);
+}
+
+double
+BaselineCost::staticEnergyJ(const RunStats &stats) const
+{
+    return staticW * seconds(stats);
+}
+
+double
+BaselineCost::hbmEnergyJ(const RunStats &stats) const
+{
+    return stats.hbmBytes * hbmPjPerByte * 1e-12;
 }
 
 } // namespace sim

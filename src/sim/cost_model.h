@@ -45,6 +45,11 @@ class UfcCostModel
     double averagePowerW(const RunStats &stats) const;
     /** Energy for a finished run. */
     double energyJ(const RunStats &stats) const;
+    /** Leakage/clock-tree component of energyJ (per-opcode attribution
+     *  splits the remainder by compute-cycle and byte shares). */
+    double staticEnergyJ(const RunStats &stats) const;
+    /** HBM-interface component of energyJ. */
+    double hbmEnergyJ(const RunStats &stats) const;
     /** Wall-clock seconds for a finished run. */
     double seconds(const RunStats &stats) const;
 
@@ -84,6 +89,8 @@ struct BaselineCost
 
     double averagePowerW(const RunStats &stats) const;
     double energyJ(const RunStats &stats) const;
+    double staticEnergyJ(const RunStats &stats) const;
+    double hbmEnergyJ(const RunStats &stats) const;
     double seconds(const RunStats &stats) const;
 };
 

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "sim/timeline.h"
+
 namespace ufc {
 namespace sim {
 
@@ -42,6 +44,7 @@ SpadModel::access(const isa::BufferRef &ref, double &writebackBytes)
             writebackBytes += vit->second.bytes;
         used_ -= vit->second.bytes;
         entries_.erase(vit);
+        ++evictions_;
     }
     lru_.push_front(ref.id);
     Entry e;
@@ -87,9 +90,12 @@ CycleEngine::issue(const isa::HwInst &inst)
         (fetchBytes + wbBytes) / perf_->hbmBytesPerCycle();
 
     // The memory engine is in-order and may run at most `window_`
-    // instructions ahead of compute.
+    // instructions ahead of compute; window <= 0 disables lookahead
+    // entirely (the fetch waits for the compute engine to drain).
     double memStart = memClock_;
-    if (static_cast<int>(recentComputeDone_.size()) >= window_) {
+    if (window_ <= 0) {
+        memStart = std::max(memStart, computeClock_);
+    } else if (static_cast<int>(recentComputeDone_.size()) >= window_) {
         memStart = std::max(
             memStart,
             recentComputeDone_[recentComputeDone_.size() - window_]);
@@ -99,14 +105,18 @@ CycleEngine::issue(const isa::HwInst &inst)
 
     // Compute phase starts when its operands arrived and the datapath is
     // free.
+    const double computeBefore = computeClock_;
     const double cCycles = perf_->computeCycles(inst);
-    const double start = std::max(computeClock_, memDone);
-    const double done = start + cCycles + perf_->pipelineFillCycles();
+    const double fill = perf_->pipelineFillCycles();
+    const double start = std::max(computeBefore, memDone);
+    const double done = start + cCycles + fill;
     computeClock_ = done;
 
-    recentComputeDone_.push_back(done);
-    if (static_cast<int>(recentComputeDone_.size()) > 4 * window_)
-        recentComputeDone_.pop_front();
+    if (window_ > 0) {
+        recentComputeDone_.push_back(done);
+        if (static_cast<int>(recentComputeDone_.size()) > 4 * window_)
+            recentComputeDone_.pop_front();
+    }
 
     // Accounting.
     const auto res = perf_->resourceFor(inst);
@@ -117,12 +127,69 @@ CycleEngine::issue(const isa::HwInst &inst)
     stats_.hbmBytes += fetchBytes + wbBytes;
     stats_.hbmBusyCycles += memCycles;
     ++stats_.instCount;
+
+    // Attribution: the compute engine advances by exactly
+    // wait + cCycles + fill this issue; charge that delta to the opcode
+    // so the per-op table telescopes to the final clock.
+    const double wait = start - computeBefore;
+    OpStats &op = stats_.opStats[static_cast<int>(inst.op)];
+    ++op.count;
+    op.cycles += wait + cCycles + fill;
+    op.computeCycles += cCycles;
+    op.stallCycles += wait;
+    op.fillCycles += fill;
+    op.hbmBytes += fetchBytes + wbBytes;
+
+    // Stall causes: the part of the wait covered by active transfer time
+    // is HBM-bound; the remainder is in-order/prefetch-window dependency
+    // delay (the data was fetchable earlier but the engine could not
+    // start it sooner).
+    const double hbmOverlap = std::min(wait, memCycles);
+    stats_.stalls.hbmBound += hbmOverlap;
+    stats_.stalls.dependency += wait - hbmOverlap;
+    stats_.stalls.pipelineFill += fill;
+    stats_.stalls.spadWritebackBytes += wbBytes;
+    stats_.stalls.spadSpillCycles += wbBytes / perf_->hbmBytesPerCycle();
+
+    if (timeline_) {
+        if (memCycles > 0)
+            timeline_->addSlice(Timeline::kHbmTrack, isa::opName(inst.op),
+                                memStart, memDone, fetchBytes + wbBytes);
+        timeline_->addSlice(static_cast<int>(res), isa::opName(inst.op),
+                            start, done);
+    }
+}
+
+void
+CycleEngine::beginPhase(const char *name)
+{
+    if (timeline_)
+        timeline_->beginPhase(name, computeClock_);
+}
+
+void
+CycleEngine::endPhase()
+{
+    if (timeline_)
+        timeline_->endPhase(computeClock_);
 }
 
 RunStats
 CycleEngine::finish()
 {
-    stats_.totalCycles = std::max(computeClock_, memClock_);
+    // totalCycles is *defined* as the fixed-order sum of the per-opcode
+    // attribution table, so "breakdown sums to total" holds exactly
+    // rather than up to floating-point telescoping error.  The sum equals
+    // max(computeClock_, memClock_) up to ulps: compute never finishes
+    // before its own fetch, so computeClock_ >= memClock_, and the
+    // per-issue deltas telescope to computeClock_.
+    double total = 0.0;
+    for (const auto &op : stats_.opStats)
+        total += op.cycles;
+    stats_.totalCycles = total;
+    stats_.stalls.spadEvictions = spad_.evictions();
+    if (timeline_)
+        timeline_->closeOpenPhases(computeClock_);
     return stats_;
 }
 

@@ -10,6 +10,13 @@
  *     keeps PE/HBM utilization below 100%, as in paper Figure 12),
  *   - an LRU scratchpad at operand-buffer granularity (capacity effects
  *     drive the scratchpad design-space exploration of Figures 13/14).
+ *
+ * Observability: every issue() attributes its wall-cycle delta to the
+ * instruction's opcode (RunStats::opStats) and classifies compute-engine
+ * waits by cause (RunStats::stalls); finish() defines totalCycles as the
+ * fixed-order sum of the per-opcode cycles, so the attribution table sums
+ * to the total *exactly*.  An optional Timeline records begin/end slices
+ * without influencing the schedule.
  */
 
 #ifndef UFC_SIM_ENGINE_H
@@ -24,6 +31,8 @@
 
 namespace ufc {
 namespace sim {
+
+class Timeline;
 
 /**
  * Machine performance model: translates a primitive instruction into
@@ -68,7 +77,17 @@ class SpadModel
      */
     double access(const isa::BufferRef &ref, double &writebackBytes);
 
-    void reset() { entries_.clear(); lru_.clear(); used_ = 0.0; }
+    /** Buffers evicted for capacity since the last reset(). */
+    u64 evictions() const { return evictions_; }
+
+    void
+    reset()
+    {
+        entries_.clear();
+        lru_.clear();
+        used_ = 0.0;
+        evictions_ = 0;
+    }
 
   private:
     struct Entry
@@ -80,6 +99,7 @@ class SpadModel
 
     double capacity_;
     double used_ = 0.0;
+    u64 evictions_ = 0;
     std::unordered_map<u64, Entry> entries_;
     std::list<u64> lru_; ///< front = most recent
 };
@@ -89,30 +109,45 @@ class SpadModel
  *
  * Thread safety: a CycleEngine owns all of its mutable state and only
  * reads the (const) MachinePerf it was given, so distinct engines may run
- * on distinct threads concurrently; one engine must not be shared.
+ * on distinct threads concurrently; one engine must not be shared.  An
+ * attached Timeline is written by the engine and shares its thread
+ * affinity.
  */
 class CycleEngine : public isa::InstSink
 {
   public:
     /// Default bound on how far the memory engine runs ahead of compute;
-    /// RunOptions::prefetchWindow overrides it per run.
+    /// RunOptions::prefetchWindow overrides it per run (0 = no lookahead;
+    /// the -1 RunOptions sentinel selects this default before the engine
+    /// is constructed).
     static constexpr int kDefaultPrefetchWindow = 16;
 
     CycleEngine(const MachinePerf *perf,
                 int prefetchWindow = kDefaultPrefetchWindow);
 
+    /** Attach (or detach with nullptr) an event-stream recorder.  The
+     *  recorder only observes; the schedule and RunStats are identical
+     *  with or without it. */
+    void setTimeline(Timeline *timeline) { timeline_ = timeline; }
+
     void issue(const isa::HwInst &inst) override;
+
+    /** Phase markers forwarded by the compiler; recorded to the attached
+     *  Timeline (no-ops otherwise). */
+    void beginPhase(const char *name) override;
+    void endPhase() override;
 
     /** Finish outstanding work and return the accumulated statistics. */
     RunStats finish();
 
-    /** Reset for a fresh run (keeps the machine model). */
+    /** Reset for a fresh run (keeps the machine model and timeline). */
     void reset();
 
   private:
     const MachinePerf *perf_;
     SpadModel spad_;
     int window_;
+    Timeline *timeline_ = nullptr;
 
     double computeClock_ = 0.0;
     double memClock_ = 0.0;

@@ -69,6 +69,25 @@ csvStr(const std::string &s)
 
 } // namespace
 
+double
+RunResult::opEnergyJ(isa::HwOp op) const
+{
+    const OpStats &o = stats.opStats[static_cast<int>(op)];
+    if (o.count == 0)
+        return 0.0;
+    double computeTotal = 0.0;
+    for (const auto &row : stats.opStats)
+        computeTotal += row.computeCycles;
+    double e = 0.0;
+    if (computeTotal > 0)
+        e += energyDynamicJ() * (o.computeCycles / computeTotal);
+    if (stats.hbmBytes > 0)
+        e += energyHbmJ * (o.hbmBytes / stats.hbmBytes);
+    if (stats.totalCycles > 0)
+        e += energyStaticJ * (o.cycles / stats.totalCycles);
+    return e;
+}
+
 std::string
 RunResult::toJson() const
 {
@@ -101,6 +120,40 @@ RunResult::toJson() const
                << num(stats.utilization(r));
         }
         os << "}}";
+        // v2 "breakdown" block: stall causes, energy split, per-opcode
+        // attribution (opcodes with zero issues are omitted).
+        os << ",\"breakdown\":{\"stalls\":{"
+           << "\"hbm_bound\":" << num(stats.stalls.hbmBound)
+           << ",\"dependency\":" << num(stats.stalls.dependency)
+           << ",\"pipeline_fill\":" << num(stats.stalls.pipelineFill)
+           << ",\"spad_spill_cycles\":" << num(stats.stalls.spadSpillCycles)
+           << ",\"spad_writeback_bytes\":"
+           << num(stats.stalls.spadWritebackBytes)
+           << ",\"spad_evictions\":" << stats.stalls.spadEvictions << "}"
+           << ",\"energy\":{"
+           << "\"static_j\":" << num(energyStaticJ)
+           << ",\"hbm_j\":" << num(energyHbmJ)
+           << ",\"dynamic_j\":" << num(energyDynamicJ()) << "}"
+           << ",\"per_op\":{";
+        bool first = true;
+        for (int i = 0; i < isa::kNumHwOps; ++i) {
+            const OpStats &o = stats.opStats[i];
+            if (o.count == 0)
+                continue;
+            const auto op = static_cast<isa::HwOp>(i);
+            if (!first)
+                os << ",";
+            first = false;
+            os << jsonStr(isa::opName(op)) << ":{"
+               << "\"count\":" << o.count
+               << ",\"cycles\":" << num(o.cycles)
+               << ",\"compute_cycles\":" << num(o.computeCycles)
+               << ",\"stall_cycles\":" << num(o.stallCycles)
+               << ",\"fill_cycles\":" << num(o.fillCycles)
+               << ",\"hbm_bytes\":" << num(o.hbmBytes)
+               << ",\"energy_j\":" << num(opEnergyJ(op)) << "}";
+        }
+        os << "}}";
     }
     os << "}";
     return os.str();
@@ -116,6 +169,13 @@ RunResult::csvHeader()
     for (int i = 0; i < isa::kNumResources; ++i) {
         h += ",util_";
         h += isa::resourceName(static_cast<isa::Resource>(i));
+    }
+    // v2 columns, appended after every v1 column.
+    h += ",stall_hbm_bound,stall_dependency,stall_pipeline_fill,"
+         "spad_spill_cycles,spad_writeback_bytes,spad_evictions";
+    for (int i = 0; i < isa::kNumHwOps; ++i) {
+        h += ",cycles_";
+        h += isa::opName(static_cast<isa::HwOp>(i));
     }
     return h;
 }
@@ -136,8 +196,17 @@ RunResult::toCsvRow() const
         for (int i = 0; i < isa::kNumResources; ++i)
             os << ","
                << num(stats.utilization(static_cast<isa::Resource>(i)));
+        os << "," << num(stats.stalls.hbmBound) << ","
+           << num(stats.stalls.dependency) << ","
+           << num(stats.stalls.pipelineFill) << ","
+           << num(stats.stalls.spadSpillCycles) << ","
+           << num(stats.stalls.spadWritebackBytes) << ","
+           << stats.stalls.spadEvictions;
+        for (int i = 0; i < isa::kNumHwOps; ++i)
+            os << "," << num(stats.opStats[i].cycles);
     } else {
-        for (int i = 0; i < 6 + isa::kNumResources; ++i)
+        for (int i = 0; i < 6 + isa::kNumResources + 6 + isa::kNumHwOps;
+             ++i)
             os << ",";
     }
     return os.str();

@@ -26,13 +26,24 @@
  *   hbmUtilization()      (hbm_utilization)
  *   peUtilization()       (pe_utilization)
  *   utilization(r)        (utilization.<resource>) for every isa::Resource
+ *
+ * v2 additions, all under a new "breakdown" JSON key (and appended CSV
+ * columns), with every v1 key unchanged:
+ *   breakdown.stalls.*    stall-cause decomposition of totalCycles
+ *   breakdown.energy.*    static / HBM / dynamic energy split
+ *   breakdown.per_op.<mnemonic>.*   per-opcode attribution table
+ * Invariants maintained by the cycle engine:
+ *   totalCycles == sum over opcodes of opStats[i].cycles     (exactly)
+ *   opStats[i].cycles == computeCycles + stallCycles + fillCycles (per op)
+ *   stalls.hbmBound + stalls.dependency == sum of stallCycles
+ *   stalls.pipelineFill == sum of fillCycles
  */
 
 #ifndef UFC_SIM_STATS_H
 #define UFC_SIM_STATS_H
 
-#include <algorithm>
 #include <array>
+#include <cassert>
 #include <string>
 
 #include "isa/inst.h"
@@ -40,8 +51,10 @@
 namespace ufc {
 namespace sim {
 
+class Timeline; // sim/timeline.h — optional structured event stream
+
 /** Schema identifier embedded in every exported RunResult. */
-inline constexpr const char *kRunResultSchema = "ufc.runresult/v1";
+inline constexpr const char *kRunResultSchema = "ufc.runresult/v2";
 
 /** How much of a run's statistics to retain/export. */
 enum class StatsVerbosity
@@ -53,18 +66,80 @@ enum class StatsVerbosity
 /**
  * Per-run options accepted by every AcceleratorModel::run() overload.
  * Thread safety: a RunOptions value is read-only during a run, so one
- * instance may be shared across concurrent runs.
+ * instance may be shared across concurrent runs — unless `timeline` is
+ * set, in which case the engine writes through it and the options must
+ * not be shared between concurrent runs.
  */
 struct RunOptions
 {
     /// Governs what toJson()/toCsvRow() emit for this run.
     StatsVerbosity verbosity = StatsVerbosity::Full;
     /// Prefetch-window override for the cycle engine's memory engine;
-    /// 0 keeps the model's default (CycleEngine::kDefaultPrefetchWindow).
-    int prefetchWindow = 0;
+    /// -1 keeps the model's default (CycleEngine::kDefaultPrefetchWindow),
+    /// 0 requests no memory lookahead (fetch starts only when the
+    /// instruction reaches the head of the compute engine).
+    int prefetchWindow = -1;
     /// Free-form run label carried into RunResult::label; the experiment
     /// runner keys result lookup on it.
     std::string label;
+    /// Optional caller-owned event-stream recorder.  When set, the cycle
+    /// engine records begin/end slices per instruction and per resource
+    /// lane plus phase regions into it (cleared first).  Recording never
+    /// affects the schedule: results are bit-identical with or without
+    /// it.  ComposedModel ignores it for its sub-runs.
+    Timeline *timeline = nullptr;
+};
+
+/** Per-opcode attribution row (one per isa::HwOp). */
+struct OpStats
+{
+    u64 count = 0;              ///< instructions issued with this opcode
+    double cycles = 0.0;        ///< attributed wall cycles (see invariant)
+    double computeCycles = 0.0; ///< occupancy of the compute engine
+    double stallCycles = 0.0;   ///< cycles the compute engine waited
+    double fillCycles = 0.0;    ///< pipeline fill/drain overhead
+    double hbmBytes = 0.0;      ///< off-chip traffic caused by the opcode
+
+    void
+    merge(const OpStats &other)
+    {
+        count += other.count;
+        cycles += other.cycles;
+        computeCycles += other.computeCycles;
+        stallCycles += other.stallCycles;
+        fillCycles += other.fillCycles;
+        hbmBytes += other.hbmBytes;
+    }
+};
+
+/** Stall-cause decomposition of the run's total cycles. */
+struct StallStats
+{
+    /// Compute-engine wait cycles covered by active HBM transfer time
+    /// (the memory interface was the bottleneck).
+    double hbmBound = 0.0;
+    /// Remaining wait cycles: the fetch finished earlier but could not
+    /// start soon enough (prefetch-window / in-order dependency limit).
+    double dependency = 0.0;
+    /// Per-instruction pipeline fill/drain cycles.
+    double pipelineFill = 0.0;
+    /// HBM-interface cycles spent writing back dirty scratchpad victims
+    /// (capacity spills).  A subset of the HBM occupancy, not an
+    /// additional stall class.
+    double spadSpillCycles = 0.0;
+    double spadWritebackBytes = 0.0; ///< bytes written back on eviction
+    u64 spadEvictions = 0;           ///< scratchpad lines evicted
+
+    void
+    merge(const StallStats &other)
+    {
+        hbmBound += other.hbmBound;
+        dependency += other.dependency;
+        pipelineFill += other.pipelineFill;
+        spadSpillCycles += other.spadSpillCycles;
+        spadWritebackBytes += other.spadWritebackBytes;
+        spadEvictions += other.spadEvictions;
+    }
 };
 
 /** Raw counters accumulated by the cycle engine. */
@@ -77,6 +152,10 @@ struct RunStats
     double hbmBusyCycles = 0.0; ///< cycles the HBM interface was active
     double spadHitBytes = 0.0;  ///< operand bytes served on chip
     u64 instCount = 0;
+    /// Per-opcode attribution table; sums to totalCycles exactly.
+    std::array<OpStats, isa::kNumHwOps> opStats{};
+    /// Stall-cause accounting.
+    StallStats stalls;
 
     double
     utilization(isa::Resource r) const
@@ -94,7 +173,10 @@ struct RunStats
     /** Processing-element utilization: fraction of time the PE datapath
      *  (butterfly or vector lanes) is doing useful work.  The two unit
      *  classes serve different instructions and never overlap in the
-     *  in-order model, so their busy times add. */
+     *  in-order model, so their busy times add and the ratio cannot
+     *  exceed 1; it is exported unclamped so a modelling bug shows up in
+     *  the data (and trips the assert in debug builds) instead of being
+     *  silently truncated. */
     double
     peUtilization() const
     {
@@ -104,7 +186,9 @@ struct RunStats
             busyCycles[static_cast<int>(isa::Resource::Butterfly)];
         const double va =
             busyCycles[static_cast<int>(isa::Resource::VectorAlu)];
-        return std::min(1.0, (bf + va) / totalCycles);
+        const double u = (bf + va) / totalCycles;
+        assert(u <= 1.0 + 1e-9 && "PE busy cycles exceed total cycles");
+        return u;
     }
 
     void
@@ -117,6 +201,9 @@ struct RunStats
         hbmBusyCycles += other.hbmBusyCycles;
         spadHitBytes += other.spadHitBytes;
         instCount += other.instCount;
+        for (int i = 0; i < isa::kNumHwOps; ++i)
+            opStats[i].merge(other.opStats[i]);
+        stalls.merge(other.stalls);
     }
 };
 
@@ -131,6 +218,10 @@ struct RunResult
     double energyJ = 0.0;
     double areaMm2 = 0.0;
     double powerW = 0.0;
+    /// Leakage/clock-tree component of energyJ (cost-model estimate).
+    double energyStaticJ = 0.0;
+    /// Off-chip (HBM interface) component of energyJ.
+    double energyHbmJ = 0.0;
     /// Host wall-clock spent producing this result; filled by the
     /// experiment runner, never by the models (it is the one field that
     /// is not deterministic run-to-run).
@@ -140,6 +231,22 @@ struct RunResult
 
     double edp() const { return energyJ * seconds; }
     double edap() const { return energyJ * seconds * areaMm2; }
+
+    /** Dynamic (datapath) component of energyJ: whatever the static and
+     *  HBM components leave over. */
+    double
+    energyDynamicJ() const
+    {
+        return energyJ - energyStaticJ - energyHbmJ;
+    }
+
+    /**
+     * Energy attributed to one opcode: the dynamic component is split by
+     * compute-cycle share, the HBM component by byte share, and the
+     * static component by attributed-cycle share.  Sums to energyJ over
+     * all opcodes (up to rounding) when the cost model filled the split.
+     */
+    double opEnergyJ(isa::HwOp op) const;
 
     /** One self-contained JSON object (schema documented above).
      *  Doubles are printed with round-trip precision so serialized

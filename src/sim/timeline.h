@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Optional structured event stream recorded by the cycle engine.
+ *
+ * A Timeline collects begin/end slices — one per instruction on its
+ * resource lane, one per HBM transfer, and one per phase region (trace
+ * op, key switch, blind rotation, workload phase) — and exports them in
+ * the Chrome trace-event JSON format, which https://ui.perfetto.dev and
+ * chrome://tracing open directly.
+ *
+ * Timestamps are simulated cycles reported in the "us" field (so 1 us in
+ * the viewer == 1 cycle).  Tracks: one "thread" per isa::Resource, one
+ * for the HBM interface, and one for the nested phase regions.  Slices
+ * on a track never overlap (the engine's clocks are monotonic), so the
+ * viewer renders a clean single-row lane per track; phases nest by stack
+ * discipline and render as a flame graph.
+ *
+ * Recording is observation-only: the engine's schedule and the RunResult
+ * are bit-identical whether or not a Timeline is attached.  A Timeline
+ * must not be shared between concurrent runs.
+ */
+
+#ifndef UFC_SIM_TIMELINE_H
+#define UFC_SIM_TIMELINE_H
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/inst.h"
+
+namespace ufc {
+namespace sim {
+
+/** One completed slice on a timeline track. */
+struct TimelineSlice
+{
+    /// Track id: 0..kNumResources-1 = resource lanes, kHbmTrack = HBM
+    /// interface, kPhaseTrack = phase regions.
+    int track = 0;
+    /// Nesting depth within the track (phases only; slices on resource
+    /// tracks are flat).
+    int depth = 0;
+    /// Owned copy of the opcode mnemonic / phase name, so a Timeline
+    /// outlives the Trace and engine that filled it.
+    std::string name;
+    double beginCycle = 0.0;
+    double endCycle = 0.0;
+    double bytes = 0.0;      ///< HBM slices: bytes moved (else 0)
+};
+
+class Timeline
+{
+  public:
+    static constexpr int kHbmTrack = isa::kNumResources;
+    static constexpr int kPhaseTrack = isa::kNumResources + 1;
+    static constexpr int kNumTracks = isa::kNumResources + 2;
+
+    /** Drop all recorded slices and reset the phase stack. */
+    void
+    clear()
+    {
+        slices_.clear();
+        phaseStack_.clear();
+    }
+
+    /** Record a completed slice on a resource or HBM track. */
+    void
+    addSlice(int track, const char *name, double beginCycle,
+             double endCycle, double bytes = 0.0)
+    {
+        slices_.push_back(
+            TimelineSlice{track, 0, name, beginCycle, endCycle, bytes});
+    }
+
+    /** Open a phase region at `cycle` (regions nest by stack order). */
+    void
+    beginPhase(const char *name, double cycle)
+    {
+        phaseStack_.push_back(OpenPhase{name, cycle});
+    }
+
+    /** Close the innermost open phase at `cycle`; no-op when empty. */
+    void
+    endPhase(double cycle)
+    {
+        if (phaseStack_.empty())
+            return;
+        OpenPhase top = std::move(phaseStack_.back());
+        phaseStack_.pop_back();
+        slices_.push_back(TimelineSlice{
+            kPhaseTrack, static_cast<int>(phaseStack_.size()),
+            std::move(top.name), top.beginCycle, cycle, 0.0});
+    }
+
+    /** Close any phases left open (engine finish with unbalanced marks). */
+    void
+    closeOpenPhases(double cycle)
+    {
+        while (!phaseStack_.empty())
+            endPhase(cycle);
+    }
+
+    const std::vector<TimelineSlice> &slices() const { return slices_; }
+    bool empty() const { return slices_.empty(); }
+    size_t openPhaseDepth() const { return phaseStack_.size(); }
+
+    /** Emit the recorded slices as Chrome trace-event JSON. */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** writeChromeTrace() to a file; exits via ufcFatal on I/O error. */
+    void saveChromeTrace(const std::string &path) const;
+
+    /** Human-readable track name ("butterfly", "hbm", "phase", ...). */
+    static const char *trackName(int track);
+
+  private:
+    struct OpenPhase
+    {
+        std::string name;
+        double beginCycle;
+    };
+
+    std::vector<TimelineSlice> slices_;
+    std::vector<OpenPhase> phaseStack_;
+};
+
+} // namespace sim
+} // namespace ufc
+
+#endif // UFC_SIM_TIMELINE_H

@@ -8,6 +8,8 @@
  *   ckks <ringDim> <levels> <special> <dnum> <limbBits>
  *   tfhe <ringDim> <lweDim> <gadgetLevels> <ksLevels> <limbBits>
  *   live <liveCiphertexts>
+ *   phase begin <opIndex> <name>     (v3+, optional, interleaved freely)
+ *   phase end <opIndex>
  *   op <mnemonic> <limbs> <count> <fanIn> <keyId>
  *   ...
  *   end
@@ -84,6 +86,13 @@ writeTrace(const Trace &tr, std::ostream &os)
        << tr.tfheGadgetLevels << " " << tr.tfheKsLevels << " "
        << tr.tfheLimbBits << "\n";
     os << "live " << tr.liveCiphertexts << "\n";
+    for (const auto &mark : tr.phases) {
+        os << "phase " << (mark.begin ? "begin" : "end") << " "
+           << mark.opIndex;
+        if (mark.begin)
+            os << " " << mark.name;
+        os << "\n";
+    }
     for (const auto &op : tr.ops) {
         os << "op " << opKindName(op.kind) << " " << op.limbs << " "
            << op.count << " " << op.fanIn << " " << op.keyId << "\n";
@@ -113,9 +122,11 @@ readTrace(std::istream &is)
                             << "')");
             int version = -1;
             ss >> version;
-            UFC_REQUIRE(!ss.fail() && version == kTraceFormatVersion,
+            UFC_REQUIRE(!ss.fail() && version >= kTraceMinReadVersion &&
+                            version <= kTraceFormatVersion,
                         "unsupported trace format version "
                             << version << " (expected "
+                            << kTraceMinReadVersion << ".."
                             << kTraceFormatVersion << ")");
             sawMagic = true;
             continue;
@@ -130,6 +141,18 @@ readTrace(std::istream &is)
                 tr.tfheGadgetLevels >> tr.tfheKsLevels >> tr.tfheLimbBits;
         } else if (tag == "live") {
             ss >> tr.liveCiphertexts;
+        } else if (tag == "phase") {
+            std::string kind;
+            PhaseMark mark;
+            ss >> kind >> mark.opIndex;
+            mark.begin = kind == "begin";
+            UFC_REQUIRE(mark.begin || kind == "end",
+                        "malformed phase line: " << line);
+            if (mark.begin)
+                ss >> mark.name;
+            UFC_REQUIRE(!ss.fail() && (!mark.begin || !mark.name.empty()),
+                        "malformed phase line: " << line);
+            tr.phases.push_back(std::move(mark));
         } else if (tag == "op") {
             std::string mnemonic;
             TraceOp op{};

@@ -23,11 +23,18 @@ namespace trace {
 inline constexpr const char *kTraceMagic = "ufctrace";
 /**
  * Current format version, written after the magic.  History:
+ *   v3 — optional "phase <begin|end> <opIndex> [name]" region-marker
+ *        lines (bootstrap / key-switch / blind-rotate grouping for the
+ *        exported simulator timeline); v2 files, which have none, still
+ *        load.
  *   v2 — added the "ufctrace <version>" header line (v1 files, which
  *        predate versioning, start directly with "trace" and are
  *        rejected with an explicit message).
  */
-inline constexpr int kTraceFormatVersion = 2;
+inline constexpr int kTraceFormatVersion = 3;
+
+/** Oldest version readTrace() still accepts. */
+inline constexpr int kTraceMinReadVersion = 2;
 
 /** Write a trace in the text format (always the current version). */
 void writeTrace(const Trace &tr, std::ostream &os);

@@ -64,6 +64,21 @@ struct TraceOp
     Scheme scheme() const;
 };
 
+/**
+ * A named region of the op stream (bootstrap, distance phase, top-k
+ * tournament, ...).  Marks carry an op index: a begin mark opens its
+ * region before `opIndex` is lowered, an end mark closes it at the same
+ * point.  Regions must nest strictly (stack discipline); the compiler
+ * forwards them to the cycle engine, which groups the exported timeline
+ * by them.
+ */
+struct PhaseMark
+{
+    u64 opIndex = 0;
+    std::string name; ///< single token, no whitespace
+    bool begin = true;
+};
+
 /** A traced workload: the op stream plus its parameter metadata. */
 struct Trace
 {
@@ -86,6 +101,9 @@ struct Trace
     int liveCiphertexts = 16;
 
     std::vector<TraceOp> ops;
+    /// Workload-level region markers, ordered by (opIndex, emission
+    /// order).  Generators append them via beginPhase()/endPhase().
+    std::vector<PhaseMark> phases;
 
     /** Append an op. */
     void
@@ -93,6 +111,20 @@ struct Trace
          int keyId = 0)
     {
         ops.push_back(TraceOp{kind, limbs, count, fanIn, keyId});
+    }
+
+    /** Open a named region starting at the next op to be pushed. */
+    void
+    beginPhase(const std::string &name)
+    {
+        phases.push_back(PhaseMark{ops.size(), name, true});
+    }
+
+    /** Close the innermost open region after the last pushed op. */
+    void
+    endPhase()
+    {
+        phases.push_back(PhaseMark{ops.size(), std::string(), false});
     }
 
     /** Total high-level op count (sum of batched counts). */

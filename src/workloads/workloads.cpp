@@ -52,11 +52,13 @@ emitBootstrap(Trace &tr, const ckks::CkksParams &p)
     const int bsgs = static_cast<int>(std::ceil(std::sqrt(sqrtSlots)));
 
     // ModRaise to the full chain.
+    tr.beginPhase("bootstrap");
     tr.push(OpKind::CkksModRaise, L);
 
     // CoeffToSlot: homomorphic DFT as ~log-depth BSGS linear transforms.
     // Three radix-sqrt stages, each 2*sqrt(r) rotations + r plaintext
     // multiplies, consuming one level per stage.
+    tr.beginPhase("coeff_to_slot");
     int limbs = L;
     for (int stage = 0; stage < 3 && limbs > 3; ++stage) {
         tr.push(OpKind::CkksRotate, limbs, 2 * bsgs, 0, stage * 64 + 1);
@@ -66,17 +68,21 @@ emitBootstrap(Trace &tr, const ckks::CkksParams &p)
         --limbs;
     }
     tr.push(OpKind::CkksConjugate, limbs);
+    tr.endPhase();
 
     // EvalMod: degree-31 Chebyshev sine approximation plus double-angle
     // steps; about 9 multiplicative levels.
+    tr.beginPhase("eval_mod");
     for (int lvl = 0; lvl < 9 && limbs > 2; ++lvl) {
         tr.push(OpKind::CkksMult, limbs, 2);
         tr.push(OpKind::CkksAdd, limbs, 2);
         tr.push(OpKind::CkksRescale, limbs, 2);
         --limbs;
     }
+    tr.endPhase();
 
     // SlotToCoeff: inverse linear transform, three more stages.
+    tr.beginPhase("slot_to_coeff");
     for (int stage = 0; stage < 3 && limbs > 1; ++stage) {
         tr.push(OpKind::CkksRotate, limbs, 2 * bsgs, 0, stage * 64 + 33);
         tr.push(OpKind::CkksMultPlain, limbs, 2 * bsgs);
@@ -84,6 +90,8 @@ emitBootstrap(Trace &tr, const ckks::CkksParams &p)
         tr.push(OpKind::CkksRescale, limbs);
         --limbs;
     }
+    tr.endPhase();
+    tr.endPhase(); // bootstrap
     return limbs;
 }
 
@@ -275,6 +283,7 @@ hybridKnn(const ckks::CkksParams &cp, const tfhe::TfheParams &tp,
     const int ctBatches = std::max<int>(
         1, static_cast<int>((static_cast<u64>(points) * features) /
                             (cp.ringDim / 2)));
+    tr.beginPhase("ckks_distance");
     for (int b = 0; b < ctBatches; ++b) {
         tr.push(OpKind::CkksAdd, limbs, 2);
         tr.push(OpKind::CkksMult, limbs, 1);
@@ -290,12 +299,14 @@ hybridKnn(const ckks::CkksParams &cp, const tfhe::TfheParams &tp,
     tr.push(OpKind::CkksRescale, limbs);
     --limbs;
     limbs = emitBootstrap(tr, cp);
+    tr.endPhase(); // ckks_distance
 
     // CKKS pre-filter: approximate threshold comparisons prune the
     // candidate set in the SIMD domain (this bulk filtering is why the
     // hybrid approach beats running everything in the logic scheme); only
     // the surviving `candidates` move to exact TFHE comparisons.
     const int candidates = std::min(points, 32 * k);
+    tr.beginPhase("ckks_prefilter");
     for (int round = 0; round < 2; ++round) {
         for (int d = 0; d < 3; ++d) {
             tr.push(OpKind::CkksMult, limbs, 1);
@@ -309,6 +320,7 @@ hybridKnn(const ckks::CkksParams &cp, const tfhe::TfheParams &tp,
         if (limbs < 6)
             limbs = emitBootstrap(tr, cp);
     }
+    tr.endPhase(); // ckks_prefilter
 
     // Phase 2 (switch): SlotToCoeff moves distances into coefficients,
     // then the LWEU extracts one LWE per candidate (Figure 1's
@@ -316,6 +328,7 @@ hybridKnn(const ckks::CkksParams &cp, const tfhe::TfheParams &tp,
     const int sqrtSlots = static_cast<int>(
         std::ceil(std::sqrt(static_cast<double>(cp.ringDim / 2))));
     const int bsgs = static_cast<int>(std::ceil(std::sqrt(sqrtSlots)));
+    tr.beginPhase("extract_to_lwe");
     for (int stage = 0; stage < 3 && limbs > 2; ++stage) {
         tr.push(OpKind::CkksRotate, limbs, 2 * bsgs, 0, stage * 64 + 7);
         tr.push(OpKind::CkksMultPlain, limbs, 2 * bsgs);
@@ -325,6 +338,7 @@ hybridKnn(const ckks::CkksParams &cp, const tfhe::TfheParams &tp,
     }
     tr.push(OpKind::SwitchExtract, limbs, candidates);
     tr.push(OpKind::TfheModSwitch, 0, candidates);
+    tr.endPhase(); // extract_to_lwe
 
     // Phase 3 (TFHE): oblivious top-k tournament — pairwise comparisons
     // via sign PBS and MUX selection of the winners each round.  The
@@ -335,6 +349,7 @@ hybridKnn(const ckks::CkksParams &cp, const tfhe::TfheParams &tp,
     const int pbsPerCompare =
         tp.ringDim >= (1u << 14) ? 1 : (tp.ringDim >= (1u << 11) ? 2 : 3);
     int remaining = candidates;
+    tr.beginPhase("tfhe_topk");
     while (remaining > k) {
         const int comparisons = remaining / 2;
         tr.push(OpKind::TfheLinear, 0, comparisons, 2);
@@ -342,10 +357,12 @@ hybridKnn(const ckks::CkksParams &cp, const tfhe::TfheParams &tp,
         tr.push(OpKind::TfheLinear, 0, comparisons, 3);
         remaining = (remaining + 1) / 2;
     }
+    tr.endPhase(); // tfhe_topk
 
     // Phase 4 (switch): repack the k selected labels into CKKS; the
     // Pegasus-style repack is a BSGS linear transform plus an EvalMod to
     // clean the phase, i.e. close to a light bootstrap.
+    tr.beginPhase("repack");
     tr.push(OpKind::SwitchRepack, std::max(2, limbs), k);
     int rlimbs = std::max(3, limbs);
     for (int lvl = 0; lvl < 6 && rlimbs > 2; ++lvl) {
@@ -354,6 +371,7 @@ hybridKnn(const ckks::CkksParams &cp, const tfhe::TfheParams &tp,
         tr.push(OpKind::CkksRescale, rlimbs, 2);
         --rlimbs;
     }
+    tr.endPhase(); // repack
     return tr;
 }
 

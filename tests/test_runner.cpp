@@ -45,6 +45,29 @@ expectBitIdentical(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.stats.instCount, b.stats.instCount);
     for (int i = 0; i < isa::kNumResources; ++i)
         EXPECT_EQ(a.stats.busyCycles[i], b.stats.busyCycles[i]) << i;
+    EXPECT_EQ(a.energyStaticJ, b.energyStaticJ);
+    EXPECT_EQ(a.energyHbmJ, b.energyHbmJ);
+    for (int i = 0; i < isa::kNumHwOps; ++i) {
+        EXPECT_EQ(a.stats.opStats[i].count, b.stats.opStats[i].count) << i;
+        EXPECT_EQ(a.stats.opStats[i].cycles, b.stats.opStats[i].cycles)
+            << i;
+        EXPECT_EQ(a.stats.opStats[i].computeCycles,
+                  b.stats.opStats[i].computeCycles) << i;
+        EXPECT_EQ(a.stats.opStats[i].stallCycles,
+                  b.stats.opStats[i].stallCycles) << i;
+        EXPECT_EQ(a.stats.opStats[i].fillCycles,
+                  b.stats.opStats[i].fillCycles) << i;
+        EXPECT_EQ(a.stats.opStats[i].hbmBytes,
+                  b.stats.opStats[i].hbmBytes) << i;
+    }
+    EXPECT_EQ(a.stats.stalls.hbmBound, b.stats.stalls.hbmBound);
+    EXPECT_EQ(a.stats.stalls.dependency, b.stats.stalls.dependency);
+    EXPECT_EQ(a.stats.stalls.pipelineFill, b.stats.stalls.pipelineFill);
+    EXPECT_EQ(a.stats.stalls.spadSpillCycles,
+              b.stats.stalls.spadSpillCycles);
+    EXPECT_EQ(a.stats.stalls.spadWritebackBytes,
+              b.stats.stalls.spadWritebackBytes);
+    EXPECT_EQ(a.stats.stalls.spadEvictions, b.stats.stalls.spadEvictions);
 }
 
 /** A mixed sweep: 4 workloads across all 4 accelerator models (scheme
@@ -224,7 +247,7 @@ TEST(RunnerReport, JsonReportCarriesSchemaAndAllRuns)
     const auto doc = json.str();
     EXPECT_NE(doc.find("\"schema\":\"ufc.report/v1\""),
               std::string::npos);
-    EXPECT_NE(doc.find("\"schema\":\"ufc.runresult/v1\""),
+    EXPECT_NE(doc.find("\"schema\":\"ufc.runresult/v2\""),
               std::string::npos);
     EXPECT_NE(doc.find("\"run_count\":2"), std::string::npos);
     EXPECT_NE(doc.find("\"label\":\"r/UFC\""), std::string::npos);
