@@ -9,6 +9,10 @@
  *   ./build/bench/inspect_trace --builtin hybrid_knn --machine ufc
  *   ./build/bench/inspect_trace --builtin boot --top 5 --timeline t.json
  *   ./build/bench/inspect_trace trace.ufctrace --json   # RunResult JSON
+ *
+ * A corrupt/truncated trace file (or invalid run configuration) prints a
+ * one-line "error: <kind>: <reason>" diagnosis on stderr and exits 1;
+ * usage errors exit 2.
  */
 
 #include <algorithm>
@@ -19,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "sim/accelerator.h"
 #include "sim/timeline.h"
 #include "trace/serialize.h"
@@ -88,7 +93,7 @@ makeMachine(const std::string &name)
 
 int
 main(int argc, char **argv)
-{
+try {
     std::string tracePath;
     std::string builtin;
     std::string machine = "ufc";
@@ -233,4 +238,8 @@ main(int argc, char **argv)
                     timelinePath.c_str(), timeline.slices().size());
     }
     return 0;
+} catch (const ufc::Error &e) {
+    // One-line diagnosis for corrupt traces / invalid configurations.
+    std::fprintf(stderr, "error: %s: %s\n", e.kind().c_str(), e.what());
+    return 1;
 }

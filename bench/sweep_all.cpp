@@ -5,19 +5,27 @@
  * configuration job from runner::paperSweeps() executed across a thread
  * pool, with a structured JSON (and optionally CSV) report.
  *
+ * Fault tolerance: each job runs inside the runner's isolation boundary,
+ * so a corrupt user trace, an invalid configuration, or a watchdog trip
+ * fails only its own job.  The batch always completes; failures land in
+ * the report's "failures" block and the exit code turns nonzero.
+ *
  *   ./build/bench/sweep_all                          # all cores -> ufc_sweep.json
  *   ./build/bench/sweep_all --threads 4 --csv out.csv
  *   ./build/bench/sweep_all --compare-serial         # verify + time vs serial
  *   ./build/bench/sweep_all --sweep fig13 --list
+ *   ./build/bench/sweep_all --no-paper --trace my.ufctrace --retries 1
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "runner/report.h"
 #include "runner/sweeps.h"
 
@@ -71,6 +79,19 @@ identicalSimulated(const sim::RunResult &a, const sim::RunResult &b)
            as.spadEvictions == bs.spadEvictions;
 }
 
+/** "dir/helr.ufctrace" -> "helr" (label component for --trace jobs). */
+std::string
+traceStem(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of("/\\");
+    std::string stem =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const std::size_t dot = stem.rfind('.');
+    if (dot != std::string::npos && dot > 0)
+        stem = stem.substr(0, dot);
+    return stem.empty() ? path : stem;
+}
+
 void
 usage(const char *argv0)
 {
@@ -82,11 +103,22 @@ usage(const char *argv0)
         "  --csv PATH        also write a CSV report\n"
         "  --sweep NAME      only run one sweep (fig10a|fig10b|fig12|"
         "fig13|fig14); repeatable\n"
+        "  --trace FILE      also simulate FILE on the UFC machine\n"
+        "                    (repeatable; loaded inside the job's fault\n"
+        "                    isolation, so a corrupt file fails only its\n"
+        "                    job)\n"
+        "  --no-paper        skip the paper sweeps (only --trace jobs)\n"
+        "  --retries N       extra attempts for failed jobs (default 0)\n"
+        "  --timeout S       per-job host deadline in seconds\n"
+        "  --max-cycles N    simulated-cycle watchdog per job "
+        "(default: unlimited)\n"
         "  --compare-serial  run parallel then serial, verify identical\n"
         "                    results, report the speedup\n"
         "  --progress        per-job status lines on stderr\n"
         "                    (\"[jobs_done/jobs_total] <label> ...\")\n"
-        "  --list            print the selected jobs and exit\n",
+        "  --list            print the selected jobs and exit\n"
+        "\n"
+        "exit status: 0 all jobs ok, 1 at least one job failed, 2 usage\n",
         argv0);
 }
 
@@ -94,11 +126,14 @@ usage(const char *argv0)
 
 int
 main(int argc, char **argv)
-{
+try {
     runner::RunnerConfig cfg;
     std::string jsonPath = "ufc_sweep.json";
     std::string csvPath;
     std::vector<std::string> only;
+    std::vector<std::string> userTraces;
+    u64 maxCycles = 0;
+    bool noPaper = false;
     bool compareSerial = false;
     bool list = false;
 
@@ -122,6 +157,16 @@ main(int argc, char **argv)
             csvPath = value();
         else if (arg == "--sweep")
             only.push_back(value());
+        else if (arg == "--trace")
+            userTraces.push_back(value());
+        else if (arg == "--no-paper")
+            noPaper = true;
+        else if (arg == "--retries")
+            cfg.maxRetries = std::atoi(value());
+        else if (arg == "--timeout")
+            cfg.jobTimeoutSeconds = std::atof(value());
+        else if (arg == "--max-cycles")
+            maxCycles = std::strtoull(value(), nullptr, 10);
         else if (arg == "--compare-serial")
             compareSerial = true;
         else if (arg == "--progress")
@@ -134,26 +179,54 @@ main(int argc, char **argv)
         }
     }
 
-    auto sweeps = runner::paperSweeps();
-    if (!only.empty()) {
-        std::vector<runner::Sweep> selected;
-        for (auto &sweep : sweeps)
-            for (const auto &name : only)
-                if (sweep.name == name)
-                    selected.push_back(std::move(sweep));
-        if (selected.empty()) {
-            std::fprintf(stderr, "no sweep matched --sweep filters\n");
-            return 2;
+    std::vector<runner::Sweep> sweeps;
+    if (!noPaper) {
+        sweeps = runner::paperSweeps();
+        if (!only.empty()) {
+            std::vector<runner::Sweep> selected;
+            for (auto &sweep : sweeps)
+                for (const auto &name : only)
+                    if (sweep.name == name)
+                        selected.push_back(std::move(sweep));
+            if (selected.empty()) {
+                std::fprintf(stderr,
+                             "no sweep matched --sweep filters\n");
+                return 2;
+            }
+            sweeps = std::move(selected);
         }
-        sweeps = std::move(selected);
     }
-    const auto jobs = runner::allJobs(sweeps);
+    auto jobs = runner::allJobs(sweeps);
+
+    // User traces run on the UFC machine, loaded lazily inside each
+    // job's isolation boundary (Job::traceFile).
+    if (!userTraces.empty()) {
+        const auto ufcModel = std::make_shared<sim::UfcModel>();
+        for (const auto &path : userTraces) {
+            runner::Job job;
+            job.label = "user/" + traceStem(path) + "/ufc";
+            job.model = ufcModel;
+            job.traceFile = path;
+            jobs.push_back(std::move(job));
+        }
+    }
+    if (maxCycles > 0)
+        for (auto &job : jobs)
+            job.options.maxCycles = maxCycles;
+    if (jobs.empty()) {
+        std::fprintf(stderr, "no jobs selected (--no-paper without "
+                             "--trace?)\n");
+        return 2;
+    }
 
     std::printf("paper sweep: %zu sweeps, %zu simulation jobs\n",
                 sweeps.size(), jobs.size());
     for (const auto &sweep : sweeps)
         std::printf("  %-8s %4zu jobs  %s\n", sweep.name.c_str(),
                     sweep.jobs.size(), sweep.title.c_str());
+    if (!userTraces.empty())
+        std::printf("  %-8s %4zu jobs  user traces on UFC\n", "user",
+                    userTraces.size());
     if (list) {
         for (const auto &job : jobs)
             std::printf("%s\n", job.label.c_str());
@@ -166,30 +239,56 @@ main(int argc, char **argv)
                 threads == 1 ? "" : "s");
 
     const double t0 = now();
-    const auto results = exec.run(jobs);
+    const auto batch = exec.runAll(jobs);
     const double parallelWall = now() - t0;
-    std::printf("parallel sweep: %.2f s wall\n", parallelWall);
+    std::printf("parallel sweep: %.2f s wall (%zu/%zu jobs ok)\n",
+                parallelWall, batch.results.size() - batch.failureCount(),
+                batch.results.size());
+
+    if (!batch.allOk()) {
+        std::fprintf(stderr, "%zu job(s) failed:\n",
+                     batch.failureCount());
+        for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+            const auto &oc = batch.outcomes[i];
+            if (oc.ok())
+                continue;
+            std::fprintf(stderr, "  %s %s attempts=%d %s: %s\n",
+                         batch.results[i].label.c_str(),
+                         runner::jobStatusName(oc.status), oc.attempts,
+                         oc.errorKind.c_str(), oc.message.c_str());
+        }
+    }
 
     if (compareSerial) {
         runner::RunnerConfig serialCfg = cfg;
         serialCfg.threads = 1;
         const runner::ExperimentRunner serialExec(serialCfg);
         const double s0 = now();
-        const auto serialResults = serialExec.run(jobs);
+        const auto serialBatch = serialExec.runAll(jobs);
         const double serialWall = now() - s0;
         std::printf("serial sweep:   %.2f s wall (%.2fx speedup on %d "
                     "threads)\n", serialWall, serialWall / parallelWall,
                     threads);
 
-        if (results.size() != serialResults.size()) {
+        if (batch.results.size() != serialBatch.results.size()) {
             std::fprintf(stderr, "FAIL: result count mismatch\n");
             return 1;
         }
-        for (std::size_t i = 0; i < results.size(); ++i) {
-            if (!identicalSimulated(results[i], serialResults[i])) {
+        for (std::size_t i = 0; i < batch.results.size(); ++i) {
+            if (batch.outcomes[i].status !=
+                serialBatch.outcomes[i].status) {
+                std::fprintf(stderr,
+                             "FAIL: parallel and serial job status "
+                             "differ at %s\n",
+                             batch.results[i].label.c_str());
+                return 1;
+            }
+            if (batch.outcomes[i].ok() &&
+                !identicalSimulated(batch.results[i],
+                                    serialBatch.results[i])) {
                 std::fprintf(stderr,
                              "FAIL: parallel and serial results differ "
-                             "at %s\n", results[i].label.c_str());
+                             "at %s\n", batch.results[i].label.c_str());
                 return 1;
             }
         }
@@ -201,13 +300,18 @@ main(int argc, char **argv)
     meta.threads = threads;
     meta.wallSeconds = parallelWall;
     if (!jsonPath.empty()) {
-        runner::saveJsonReport(results, jsonPath, meta);
-        std::printf("wrote %s (%zu runs)\n", jsonPath.c_str(),
-                    results.size());
+        runner::saveJsonReport(batch, jsonPath, meta);
+        std::printf("wrote %s (%zu runs, %zu failures)\n",
+                    jsonPath.c_str(),
+                    batch.results.size() - batch.failureCount(),
+                    batch.failureCount());
     }
     if (!csvPath.empty()) {
-        runner::saveCsvReport(results, csvPath);
+        runner::saveCsvReport(batch, csvPath);
         std::printf("wrote %s\n", csvPath.c_str());
     }
-    return 0;
+    return batch.allOk() ? 0 : 1;
+} catch (const ufc::Error &e) {
+    std::fprintf(stderr, "error: %s: %s\n", e.kind().c_str(), e.what());
+    return 1;
 }

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "common/error.h"
 #include "sim/accelerator.h"
 #include "trace/serialize.h"
 #include "workloads/workloads.h"
@@ -19,7 +20,7 @@ using namespace ufc;
 
 int
 main(int argc, char **argv)
-{
+try {
     const std::string path = argc > 1 ? argv[1] : "/tmp/ufc_helr.trace";
 
     // 1. Trace generation (the "tracing tool").
@@ -50,4 +51,7 @@ main(int argc, char **argv)
                     loaded.ops.size() == tr.ops.size();
     std::printf(ok ? "OK\n" : "FAILED\n");
     return ok ? 0 : 1;
+} catch (const ufc::Error &e) {
+    std::fprintf(stderr, "error: %s: %s\n", e.kind().c_str(), e.what());
+    return 1;
 }

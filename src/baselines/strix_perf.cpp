@@ -7,7 +7,7 @@
 
 #include <algorithm>
 
-#include "common/check.h"
+#include "common/error.h"
 
 namespace ufc {
 namespace baselines {
@@ -25,8 +25,11 @@ StrixPerf::computeCycles(const HwInst &inst) const
       case HwOp::NttAuto: {
         const double util = fftUtilization(inst.logDegree,
                                            cfg_.designLogN, cfg_.maxLogN);
-        UFC_CHECK(util > 0.0, "Strix cannot process logN="
-                                  << inst.logDegree << " polynomials");
+        // A ring outside Strix's FFT range is a workload/machine
+        // mismatch (user input), so it must stay recoverable.
+        UFC_EXPECT(util > 0.0, ConfigError,
+                   "Strix cannot process logN=" << inst.logDegree
+                                                << " polynomials");
         // FFT work equals NTT butterfly work (inst.work) on 64-bit units.
         const double rate = cfg_.butterflies * util * cfg_.pipelineEff;
         return std::max(1.0, static_cast<double>(inst.work) / rate);

@@ -1,10 +1,17 @@
 /**
  * @file
- * Error-reporting helpers, modelled on gem5's panic()/fatal() split.
+ * Error-reporting helpers for *internal invariants*, modelled on gem5's
+ * panic() split.
  *
- * ufcPanic()  — internal invariant violated (a bug in this library).
- * ufcFatal()  — unusable user input (bad parameters, impossible request).
- * UFC_CHECK   — cheap always-on invariant check with a formatted message.
+ * ufcPanic() / UFC_CHECK — an invariant of this library was violated (a
+ * bug in this code); abort so the core dump points at it.
+ *
+ * Recoverable failures caused by inputs (malformed trace files, bad
+ * RunOptions, unexecutable jobs, watchdog trips) do NOT belong here:
+ * they throw a typed ufc::Error subclass — see common/error.h — so the
+ * experiment runner and the CLIs can contain them to one job instead of
+ * taking down a whole sweep.  The old ufcFatal()/UFC_REQUIRE exit path
+ * was replaced by that hierarchy.
  */
 
 #ifndef UFC_COMMON_CHECK_H
@@ -25,14 +32,6 @@ ufcPanic(const std::string &msg)
     std::abort();
 }
 
-/** Exit with a message; use for invalid user-supplied configuration. */
-[[noreturn]] inline void
-ufcFatal(const std::string &msg)
-{
-    std::cerr << "fatal: " << msg << std::endl;
-    std::exit(1);
-}
-
 } // namespace ufc
 
 #define UFC_CHECK(cond, msg)                                                \
@@ -41,15 +40,6 @@ ufcFatal(const std::string &msg)
             std::ostringstream oss_;                                        \
             oss_ << msg << " [" << __FILE__ << ":" << __LINE__ << "]";      \
             ::ufc::ufcPanic(oss_.str());                                    \
-        }                                                                   \
-    } while (0)
-
-#define UFC_REQUIRE(cond, msg)                                              \
-    do {                                                                    \
-        if (!(cond)) {                                                      \
-            std::ostringstream oss_;                                        \
-            oss_ << msg;                                                    \
-            ::ufc::ufcFatal(oss_.str());                                    \
         }                                                                   \
     } while (0)
 

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Typed, recoverable error hierarchy for the library.
+ *
+ * The repo distinguishes two failure classes (see also common/check.h):
+ *
+ *   - Internal invariant violations — bugs in this library.  These stay
+ *     on the abort path (ufcPanic / UFC_CHECK): there is no sane way to
+ *     continue, and a core dump is the most useful artifact.
+ *
+ *   - Recoverable faults caused by *inputs*: a malformed trace file, an
+ *     inconsistent RunOptions, a workload a baseline cannot execute, a
+ *     watchdog/deadline trip on a runaway instruction stream.  These
+ *     throw a subclass of ufc::Error so that batch drivers (the
+ *     experiment runner, sweep_all, inspect_trace) can contain the
+ *     failure to one job and keep the rest of the sweep alive.
+ *
+ * Hierarchy:
+ *   ufc::Error                 base (carries a stable kind() tag)
+ *   ├── ufc::TraceError        trace file parse/validation failures
+ *   ├── ufc::ConfigError       bad run/job/report configuration or I/O
+ *   └── ufc::SimError          simulation-time faults
+ *       └── ufc::TimeoutError  cooperative deadline / maxCycles watchdog
+ *
+ * TimeoutError keeps kind() == "SimError" (it *is* a simulation fault);
+ * catch it by type when the distinction matters (the runner maps it to
+ * JobStatus::TimedOut and does not retry).
+ */
+
+#ifndef UFC_COMMON_ERROR_H
+#define UFC_COMMON_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ufc {
+
+/** Base of all recoverable library errors. */
+class Error : public std::runtime_error
+{
+  public:
+    Error(std::string kind, const std::string &msg)
+        : std::runtime_error(msg), kind_(std::move(kind))
+    {}
+
+    /** Stable tag for structured reports: "TraceError", "ConfigError",
+     *  "SimError". */
+    const std::string &kind() const noexcept { return kind_; }
+
+  private:
+    std::string kind_;
+};
+
+/** A trace file failed to parse or validate (truncated, corrupt,
+ *  out-of-range field, duplicate marker, unsupported version...). */
+class TraceError : public Error
+{
+  public:
+    explicit TraceError(const std::string &msg) : Error("TraceError", msg)
+    {}
+};
+
+/** Invalid user-supplied configuration: inconsistent RunOptions, a job
+ *  without a model/trace, an unopenable report path, a workload the
+ *  selected machine cannot execute. */
+class ConfigError : public Error
+{
+  public:
+    explicit ConfigError(const std::string &msg)
+        : Error("ConfigError", msg)
+    {}
+};
+
+/** A fault raised while simulating (including injected faults). */
+class SimError : public Error
+{
+  public:
+    explicit SimError(const std::string &msg) : Error("SimError", msg) {}
+};
+
+/** Cooperative cancellation: the cycle engine exceeded
+ *  RunOptions::maxCycles or its host-side deadline.  Not retried by the
+ *  runner (a hung job would hang again). */
+class TimeoutError : public SimError
+{
+  public:
+    explicit TimeoutError(const std::string &msg) : SimError(msg) {}
+};
+
+} // namespace ufc
+
+/** Throw ErrType with an ostream-formatted message. */
+#define UFC_THROW(ErrType, msg)                                             \
+    do {                                                                    \
+        std::ostringstream oss_;                                            \
+        oss_ << msg;                                                        \
+        throw ::ufc::ErrType(oss_.str());                                   \
+    } while (0)
+
+/** Always-on recoverable check: throw ErrType when `cond` is false. */
+#define UFC_EXPECT(cond, ErrType, msg)                                      \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            UFC_THROW(ErrType, msg);                                        \
+    } while (0)
+
+#endif // UFC_COMMON_ERROR_H

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic fault-injection implementation.
+ */
+
+#include "common/fault.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ufc {
+
+namespace {
+
+/** FNV-1a over a string; stable across platforms (unlike std::hash). */
+u64
+fnv1a(const std::string &s)
+{
+    u64 h = 0xcbf29ce484222325ULL;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer. */
+u64
+finalize(u64 z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Hash -> uniform double in [0, 1). */
+double
+toUnit(u64 h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(u64 seed, double jobFailProb)
+    : seed_(seed), jobFailProb_(std::clamp(jobFailProb, 0.0, 1.0))
+{}
+
+u64
+FaultInjector::mix(u64 a, u64 b)
+{
+    return finalize(a + 0x9e3779b97f4a7c15ULL * (b + 1));
+}
+
+bool
+FaultInjector::shouldFailJob(const std::string &label, int attempt) const
+{
+    if (jobFailProb_ <= 0.0)
+        return false;
+    const u64 h =
+        mix(mix(seed_, fnv1a(label)), static_cast<u64>(attempt));
+    return toUnit(h) < jobFailProb_;
+}
+
+void
+FaultInjector::maybeFailJob(const std::string &label, int attempt) const
+{
+    if (shouldFailJob(label, attempt))
+        UFC_THROW(SimError, "injected fault (seed=" << seed_
+                                << ", attempt=" << attempt << ") in job '"
+                                << label << "'");
+}
+
+std::string
+FaultInjector::corruptTraceText(const std::string &text, u64 salt) const
+{
+    const u64 h = mix(seed_, salt);
+    if (text.empty())
+        return text;
+
+    // Split into lines so line-level corruptions are well-formed-ish.
+    std::vector<std::string> lines;
+    std::string cur;
+    for (const char c : text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+
+    std::string out;
+    const auto join = [&]() {
+        out.clear();
+        for (const auto &l : lines)
+            out += l + "\n";
+    };
+
+    switch (h % 6) {
+      case 0: // hard truncation at a byte offset
+        return text.substr(0, 1 + mix(h, 1) % text.size());
+      case 1: // garble the magic
+        lines[0] = "xfctrace" + lines[0].substr(std::min<std::size_t>(
+                                    8, lines[0].size()));
+        join();
+        return out;
+      case 2: // unsupported version
+        lines[0] = "ufctrace 99";
+        join();
+        return out;
+      case 3: { // replace one line with an unknown-opcode op line
+        const std::size_t i = mix(h, 3) % lines.size();
+        lines[i] = "op bogus.op 1 1 0 0";
+        join();
+        return out;
+      }
+      case 4: { // duplicate a line in place
+        const std::size_t i = mix(h, 4) % lines.size();
+        lines.insert(lines.begin() + i, lines[i]);
+        join();
+        return out;
+      }
+      default: { // garbage tag line mid-stream
+        const std::size_t i = mix(h, 5) % lines.size();
+        lines.insert(lines.begin() + i, "zzz 3 1 4 1 5");
+        join();
+        return out;
+      }
+    }
+}
+
+} // namespace ufc

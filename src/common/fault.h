@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection for robustness testing.
+ *
+ * Long-running sweeps need their containment paths (per-job isolation,
+ * bounded retry, structured failure reporting) exercised in tests
+ * without flakiness.  FaultInjector makes every decision a pure hash of
+ * (seed, site key, attempt): the same seed always fails the same jobs on
+ * the same attempts, on every platform and thread count, so tests that
+ * drive the retry machinery are bit-reproducible.
+ *
+ * Two fault families are provided:
+ *   - probabilistic job failure (shouldFailJob / maybeFailJob), hooked
+ *     into the experiment runner via RunnerConfig::faults, and
+ *   - deterministic corruption of serialized trace text
+ *     (corruptTraceText), used to fuzz trace::readTrace with inputs
+ *     that must either parse or throw TraceError — never abort.
+ */
+
+#ifndef UFC_COMMON_FAULT_H
+#define UFC_COMMON_FAULT_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace ufc {
+
+/** Deterministic fault source; const-callable from any thread. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param seed         decision-space seed; same seed => same faults
+     * @param jobFailProb  probability in [0, 1] that a given
+     *                     (job label, attempt) pair fails
+     */
+    explicit FaultInjector(u64 seed, double jobFailProb = 0.0);
+
+    /** Pure decision: does this (label, attempt) fail?  Independent
+     *  draws per attempt, so a job that fails attempt 1 may succeed on
+     *  retry — exactly the path RetriedOk covers. */
+    bool shouldFailJob(const std::string &label, int attempt) const;
+
+    /** Throw SimError("injected fault...") when shouldFailJob says so;
+     *  the runner calls this at the top of every job attempt. */
+    void maybeFailJob(const std::string &label, int attempt) const;
+
+    /**
+     * Deterministically corrupt a serialized trace (one corruption mode
+     * selected by `salt`: truncation, garbled magic, bad version, bogus
+     * opcode, duplicated line, or a garbage tag line).  The result is a
+     * hostile-but-reproducible parser input.
+     */
+    std::string corruptTraceText(const std::string &text, u64 salt) const;
+
+    u64 seed() const { return seed_; }
+    double jobFailProb() const { return jobFailProb_; }
+
+    /** Stateless 64-bit mix (splitmix64 finalizer over a ^ rot(b)). */
+    static u64 mix(u64 a, u64 b);
+
+  private:
+    u64 seed_;
+    double jobFailProb_;
+};
+
+} // namespace ufc
+
+#endif // UFC_COMMON_FAULT_H

@@ -9,22 +9,76 @@
 #include <fstream>
 #include <ostream>
 
-#include "common/check.h"
+#include "common/error.h"
 
 namespace ufc {
 namespace runner {
+
+namespace {
+
+/** Minimal JSON string escaping — error messages can carry quotes,
+ *  backslashes and file paths. */
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+/** CSV field quoting for free-form text (RFC 4180 style). */
+std::string
+csvStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else if (c == '\n')
+            out += ' ';
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+void
+writeEnvelopeHead(std::ostream &os, const char *schema,
+                  const ReportMeta &meta)
+{
+    char wall[40];
+    std::snprintf(wall, sizeof(wall), "%.6f", meta.wallSeconds);
+    os << "{\"schema\":\"" << schema << "\""
+       << ",\"generator\":\"" << meta.generator << "\""
+       << ",\"threads\":" << meta.threads
+       << ",\"wall_seconds\":" << wall;
+}
+
+} // namespace
 
 void
 writeJsonReport(const std::vector<sim::RunResult> &results,
                 std::ostream &os, const ReportMeta &meta)
 {
-    char wall[40];
-    std::snprintf(wall, sizeof(wall), "%.6f", meta.wallSeconds);
-    os << "{\"schema\":\"" << kReportSchema << "\""
-       << ",\"generator\":\"" << meta.generator << "\""
-       << ",\"threads\":" << meta.threads
-       << ",\"wall_seconds\":" << wall
-       << ",\"run_count\":" << results.size() << ",\"runs\":[";
+    writeEnvelopeHead(os, kReportSchema, meta);
+    os << ",\"run_count\":" << results.size() << ",\"runs\":[";
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (i)
             os << ",";
@@ -42,21 +96,100 @@ writeCsvReport(const std::vector<sim::RunResult> &results, std::ostream &os)
 }
 
 void
+writeJsonReport(const BatchResult &batch, std::ostream &os,
+                const ReportMeta &meta)
+{
+    writeEnvelopeHead(os, kBatchReportSchema, meta);
+    const auto ok = batch.okResults();
+    os << ",\"job_count\":" << batch.results.size()
+       << ",\"run_count\":" << ok.size()
+       << ",\"failure_count\":" << batch.failureCount()
+       << ",\"failures\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+        const auto &oc = batch.outcomes[i];
+        if (oc.ok())
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"label\":" << jsonStr(batch.results[i].label)
+           << ",\"status\":\"" << jobStatusName(oc.status) << "\""
+           << ",\"error_kind\":" << jsonStr(oc.errorKind)
+           << ",\"message\":" << jsonStr(oc.message)
+           << ",\"attempts\":" << oc.attempts << "}";
+    }
+    os << (first ? "]" : "\n]") << ",\"runs\":[";
+    for (std::size_t i = 0; i < ok.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\n" << ok[i].toJson();
+    }
+    os << "\n]}\n";
+}
+
+void
+writeCsvReport(const BatchResult &batch, std::ostream &os)
+{
+    os << sim::RunResult::csvHeader()
+       << ",status,attempts,error_kind,error\n";
+    for (std::size_t i = 0; i < batch.results.size(); ++i) {
+        const auto &oc = batch.outcomes[i];
+        os << batch.results[i].toCsvRow() << ","
+           << jobStatusName(oc.status) << "," << oc.attempts << ","
+           << oc.errorKind << "," << csvStr(oc.message) << "\n";
+    }
+}
+
+namespace {
+
+template <typename Payload, typename Writer>
+void
+saveReport(const Payload &payload, const std::string &path,
+           const Writer &writer)
+{
+    std::ofstream os(path);
+    UFC_EXPECT(os.good(), ConfigError,
+               "cannot open " << path << " for writing");
+    writer(payload, os);
+}
+
+} // namespace
+
+void
 saveJsonReport(const std::vector<sim::RunResult> &results,
                const std::string &path, const ReportMeta &meta)
 {
-    std::ofstream os(path);
-    UFC_REQUIRE(os.good(), "cannot open " << path << " for writing");
-    writeJsonReport(results, os, meta);
+    saveReport(results, path,
+               [&](const std::vector<sim::RunResult> &r,
+                   std::ostream &os) { writeJsonReport(r, os, meta); });
 }
 
 void
 saveCsvReport(const std::vector<sim::RunResult> &results,
               const std::string &path)
 {
-    std::ofstream os(path);
-    UFC_REQUIRE(os.good(), "cannot open " << path << " for writing");
-    writeCsvReport(results, os);
+    saveReport(results, path,
+               [](const std::vector<sim::RunResult> &r,
+                  std::ostream &os) { writeCsvReport(r, os); });
+}
+
+void
+saveJsonReport(const BatchResult &batch, const std::string &path,
+               const ReportMeta &meta)
+{
+    saveReport(batch, path,
+               [&](const BatchResult &b, std::ostream &os) {
+                   writeJsonReport(b, os, meta);
+               });
+}
+
+void
+saveCsvReport(const BatchResult &batch, const std::string &path)
+{
+    saveReport(batch, path, [](const BatchResult &b, std::ostream &os) {
+        writeCsvReport(b, os);
+    });
 }
 
 } // namespace runner

@@ -1,9 +1,17 @@
 /**
  * @file
  * Structured report emission for batches of runs: a JSON document
- * ("ufc.report/v1": metadata + one object per run, built on
- * sim::RunResult::toJson()) and a flat CSV (RunResult::csvHeader() +
- * one toCsvRow() per run).
+ * (metadata + one object per run, built on sim::RunResult::toJson())
+ * and a flat CSV (RunResult::csvHeader() + one toCsvRow() per run).
+ *
+ * Two envelopes:
+ *   "ufc.report/v1" — plain result vectors (no failure information).
+ *   "ufc.report/v2" — BatchResult overloads: v1 plus a top-level
+ *       "failures" array ({label, status, error_kind, message,
+ *       attempts} per non-ok job), "failure_count", and per-run rows
+ *       for successful jobs only.  The CSV variant appends
+ *       status/attempts/error_kind/error columns to every row; failed
+ *       rows keep their label with the metric columns zeroed.
  */
 
 #ifndef UFC_RUNNER_REPORT_H
@@ -13,13 +21,16 @@
 #include <string>
 #include <vector>
 
+#include "runner/runner.h"
 #include "sim/stats.h"
 
 namespace ufc {
 namespace runner {
 
-/** Schema identifier of the report envelope. */
+/** Schema identifier of the plain (results-only) report envelope. */
 inline constexpr const char *kReportSchema = "ufc.report/v1";
+/** Schema identifier of the batch (results + failures) envelope. */
+inline constexpr const char *kBatchReportSchema = "ufc.report/v2";
 
 /** Optional report metadata recorded in the JSON envelope. */
 struct ReportMeta
@@ -36,11 +47,23 @@ void writeJsonReport(const std::vector<sim::RunResult> &results,
 void writeCsvReport(const std::vector<sim::RunResult> &results,
                     std::ostream &os);
 
-/** File wrappers; ufcFatal when the path cannot be opened. */
+/** Batch-aware JSON report: successful runs plus the structured
+ *  "failures" block (schema "ufc.report/v2"). */
+void writeJsonReport(const BatchResult &batch, std::ostream &os,
+                     const ReportMeta &meta = {});
+/** Batch-aware CSV report: every job gets a row; the appended
+ *  status/attempts/error_kind/error columns carry the outcome. */
+void writeCsvReport(const BatchResult &batch, std::ostream &os);
+
+/** File wrappers; throw ufc::ConfigError when the path cannot be
+ *  opened. */
 void saveJsonReport(const std::vector<sim::RunResult> &results,
                     const std::string &path, const ReportMeta &meta = {});
 void saveCsvReport(const std::vector<sim::RunResult> &results,
                    const std::string &path);
+void saveJsonReport(const BatchResult &batch, const std::string &path,
+                    const ReportMeta &meta = {});
+void saveCsvReport(const BatchResult &batch, const std::string &path);
 
 } // namespace runner
 } // namespace ufc

@@ -7,6 +7,12 @@
  * configured thread count; kernel-level parallelFor calls issued from
  * inside a job run inline on the job's worker (see parallel.h), so the
  * runner's thread budget is the true process concurrency.
+ *
+ * Fault isolation: runOne() wraps one job attempt in a catch-all, maps
+ * the error to a JobOutcome (typed kind + message), and applies the
+ * bounded retry policy.  Exceptions never cross the pool boundary
+ * (parallelFor would terminate), and a failed job's slot holds a
+ * labelled placeholder so reports stay aligned with the job list.
  */
 
 #include "runner/runner.h"
@@ -14,15 +20,81 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <iostream>
+#include <mutex>
 #include <thread>
 
-#include "common/check.h"
+#include "common/error.h"
 #include "common/parallel.h"
 #include "common/prof.h"
+#include "trace/serialize.h"
 
 namespace ufc {
 namespace runner {
+
+namespace {
+
+/// Serializes --progress stderr lines: stdio does not guarantee that
+/// concurrent fprintf calls cannot interleave characters, so completion
+/// lines from different workers go through one lock.
+std::mutex gProgressMutex;
+
+} // namespace
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::RetriedOk: return "retried_ok";
+      case JobStatus::Failed: return "failed";
+      case JobStatus::TimedOut: return "timed_out";
+    }
+    return "unknown";
+}
+
+std::size_t
+BatchResult::failureCount() const
+{
+    std::size_t n = 0;
+    for (const auto &oc : outcomes)
+        if (!oc.ok())
+            ++n;
+    return n;
+}
+
+std::vector<sim::RunResult>
+BatchResult::okResults() const
+{
+    std::vector<sim::RunResult> out;
+    out.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        if (outcomes[i].ok())
+            out.push_back(results[i]);
+    return out;
+}
+
+void
+BatchResult::throwFirstFailure() const
+{
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const auto &oc = outcomes[i];
+        if (oc.ok())
+            continue;
+        const std::string msg = "job '" + results[i].label +
+                                "' " + jobStatusName(oc.status) +
+                                " after " + std::to_string(oc.attempts) +
+                                " attempt(s): " + oc.message;
+        if (oc.status == JobStatus::TimedOut)
+            throw TimeoutError(msg);
+        if (oc.errorKind == "TraceError")
+            throw TraceError(msg);
+        if (oc.errorKind == "ConfigError")
+            throw ConfigError(msg);
+        throw SimError(msg);
+    }
+}
 
 ExperimentRunner::ExperimentRunner(const RunnerConfig &cfg) : cfg_(cfg) {}
 
@@ -39,48 +111,135 @@ ExperimentRunner::effectiveThreads(std::size_t jobs) const
     return t < 1 ? 1 : t;
 }
 
-std::vector<sim::RunResult>
-ExperimentRunner::run(const std::vector<Job> &jobs) const
+void
+ExperimentRunner::runOne(const Job &job, std::size_t index,
+                         sim::RunResult &result,
+                         JobOutcome &outcome) const
 {
-    for (const auto &job : jobs) {
-        UFC_REQUIRE(job.model != nullptr,
-                    "runner job '" << job.label << "' has no model");
-        UFC_REQUIRE(job.trace != nullptr,
-                    "runner job '" << job.label << "' has no trace");
-    }
+    const int maxAttempts = 1 + (cfg_.maxRetries > 0 ? cfg_.maxRetries
+                                                     : 0);
+    const std::string label =
+        !job.label.empty() ? job.label
+                           : "job#" + std::to_string(index);
 
-    std::vector<sim::RunResult> results(jobs.size());
+    for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
+        outcome.attempts = attempt;
+        try {
+            UFC_EXPECT(job.model != nullptr, ConfigError,
+                       "runner job '" << label << "' has no model");
+            UFC_EXPECT((job.trace != nullptr) != !job.traceFile.empty(),
+                       ConfigError,
+                       "runner job '" << label
+                           << "' must set exactly one of trace and "
+                              "traceFile");
+            if (cfg_.faults)
+                cfg_.faults->maybeFailJob(label, attempt);
+
+            // Deserialization happens inside the isolation boundary so
+            // a corrupt file fails this job, not the batch.
+            std::shared_ptr<const trace::Trace> tr = job.trace;
+            if (!tr)
+                tr = std::make_shared<const trace::Trace>(
+                    trace::loadTrace(job.traceFile));
+
+            sim::RunOptions opts = job.options;
+            if (opts.label.empty())
+                opts.label = label;
+            if (cfg_.jobTimeoutSeconds > 0.0)
+                opts.hostDeadline =
+                    std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            cfg_.jobTimeoutSeconds));
+
+            const auto t0 = std::chrono::steady_clock::now();
+            result = job.model->run(*tr, opts);
+            const auto t1 = std::chrono::steady_clock::now();
+            if (cfg_.measureHostTime)
+                result.hostSeconds =
+                    std::chrono::duration<double>(t1 - t0).count();
+            // On a retry success, keep the previous failure's
+            // kind/message as the captured diagnostic.
+            outcome.status = attempt == 1 ? JobStatus::Ok
+                                          : JobStatus::RetriedOk;
+            return;
+        } catch (const TimeoutError &e) {
+            // Deadline/watchdog trips are terminal: retrying a hung job
+            // would hang again.
+            outcome.status = JobStatus::TimedOut;
+            outcome.errorKind = e.kind();
+            outcome.message = e.what();
+            break;
+        } catch (const Error &e) {
+            outcome.status = JobStatus::Failed;
+            outcome.errorKind = e.kind();
+            outcome.message = e.what();
+        } catch (const std::exception &e) {
+            outcome.status = JobStatus::Failed;
+            outcome.errorKind = "std::exception";
+            outcome.message = e.what();
+        }
+    }
+    // All attempts failed (or timed out): leave a labelled placeholder
+    // so result slots stay aligned with the job list.
+    result = sim::RunResult{};
+    result.label = label;
+    if (job.model)
+        result.machine = job.model->name();
+    if (job.trace)
+        result.workload = job.trace->name;
+}
+
+BatchResult
+ExperimentRunner::runAll(const std::vector<Job> &jobs) const
+{
+    BatchResult batch;
+    batch.results.resize(jobs.size());
+    batch.outcomes.resize(jobs.size());
 
     std::atomic<std::size_t> jobsDone{0};
     ThreadPool pool(effectiveThreads(jobs.size()));
     pool.parallelFor(jobs.size(), [&](std::size_t i) {
         UFC_PROF_SCOPE("runner.job");
-        const Job &job = jobs[i];
-        sim::RunOptions opts = job.options;
-        if (opts.label.empty())
-            opts.label = job.label;
-        const auto t0 = std::chrono::steady_clock::now();
-        results[i] = job.model->run(*job.trace, opts);
-        const auto t1 = std::chrono::steady_clock::now();
-        const double secs = std::chrono::duration<double>(t1 - t0).count();
-        if (cfg_.measureHostTime)
-            results[i].hostSeconds = secs;
+        runOne(jobs[i], i, batch.results[i], batch.outcomes[i]);
         if (cfg_.progress) {
-            // One line per completed job; fprintf keeps the line atomic
-            // across workers (stderr is unbuffered per C).
             const std::size_t done =
                 jobsDone.fetch_add(1, std::memory_order_relaxed) + 1;
-            std::fprintf(stderr,
-                         "[%zu/%zu] %s machine=%s workload=%s "
-                         "host_seconds=%.3f\n",
-                         done, jobs.size(), opts.label.c_str(),
-                         results[i].machine.c_str(),
-                         results[i].workload.c_str(), secs);
+            const auto &r = batch.results[i];
+            const auto &oc = batch.outcomes[i];
+            // One line per completed job, serialized so concurrent
+            // completions cannot interleave characters.
+            std::lock_guard<std::mutex> lock(gProgressMutex);
+            if (oc.ok()) {
+                std::fprintf(stderr,
+                             "[%zu/%zu] %s status=%s machine=%s "
+                             "workload=%s host_seconds=%.3f\n",
+                             done, jobs.size(), r.label.c_str(),
+                             jobStatusName(oc.status),
+                             r.machine.c_str(), r.workload.c_str(),
+                             r.hostSeconds);
+            } else {
+                std::fprintf(stderr,
+                             "[%zu/%zu] %s status=%s attempts=%d "
+                             "error=%s: %s\n",
+                             done, jobs.size(), r.label.c_str(),
+                             jobStatusName(oc.status), oc.attempts,
+                             oc.errorKind.c_str(), oc.message.c_str());
+            }
         }
     });
     if (cfg_.progress && prof::enabled() && prof::hasSamples())
         prof::report(std::cerr);
-    return results;
+    return batch;
+}
+
+std::vector<sim::RunResult>
+ExperimentRunner::run(const std::vector<Job> &jobs) const
+{
+    BatchResult batch = runAll(jobs);
+    batch.throwFirstFailure();
+    return std::move(batch.results);
 }
 
 ResultSet::ResultSet(std::vector<sim::RunResult> results)
@@ -91,7 +250,8 @@ ResultSet::ResultSet(std::vector<sim::RunResult> results)
             continue;
         const bool fresh =
             byLabel_.emplace(results_[i].label, i).second;
-        UFC_REQUIRE(fresh, "duplicate run label: " << results_[i].label);
+        UFC_EXPECT(fresh, ConfigError,
+                   "duplicate run label: " << results_[i].label);
     }
 }
 
@@ -99,7 +259,8 @@ const sim::RunResult &
 ResultSet::at(const std::string &label) const
 {
     const auto it = byLabel_.find(label);
-    UFC_REQUIRE(it != byLabel_.end(), "no run labelled: " << label);
+    UFC_EXPECT(it != byLabel_.end(), ConfigError,
+               "no run labelled: " << label);
     return results_[it->second];
 }
 

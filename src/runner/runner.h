@@ -1,6 +1,7 @@
 /**
  * @file
- * Thread-pool-backed batch experiment runner.
+ * Thread-pool-backed batch experiment runner with per-job fault
+ * isolation.
  *
  * The paper's evaluation is a sweep — every workload x accelerator x
  * configuration point of Figures 10-15 — and each figure binary used to
@@ -9,6 +10,14 @@
  * RunOptions), the runner executes them across a pool of worker threads,
  * and the results come back in job order, bit-identical to a serial run
  * (AcceleratorModel::run is const and re-entrant; see accelerator.h).
+ *
+ * Failure containment: a job that throws ufc::Error (malformed trace
+ * file, invalid RunOptions, unexecutable workload, watchdog/deadline
+ * trip, injected fault) is recorded in its JobOutcome slot — with a
+ * bounded retry for transient faults — and the rest of the batch runs
+ * to completion.  The successful jobs' results are bit-identical to
+ * what a clean batch would have produced: jobs share nothing, so a
+ * neighbour's failure cannot perturb them.
  */
 
 #ifndef UFC_RUNNER_RUNNER_H
@@ -19,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault.h"
 #include "sim/accelerator.h"
 #include "trace/trace.h"
 
@@ -29,6 +39,11 @@ namespace runner {
  * One experiment: a trace simulated on a model under given options.
  * Model and trace are shared so a sweep can cross N models with M traces
  * without copying either.
+ *
+ * The trace may be given eagerly (`trace`) or as a file path
+ * (`traceFile`) that is loaded *inside* the job's fault isolation, so a
+ * corrupt or truncated file fails only its own job instead of the batch
+ * assembly.  Exactly one of the two must be set.
  */
 struct Job
 {
@@ -38,6 +53,9 @@ struct Job
     std::shared_ptr<const sim::AcceleratorModel> model;
     std::shared_ptr<const trace::Trace> trace;
     sim::RunOptions options;
+    /// Lazy alternative to `trace`: path to a serialized ufctrace file,
+    /// deserialized per attempt inside the job's isolation boundary.
+    std::string traceFile;
 };
 
 /** Runner knobs. */
@@ -48,10 +66,79 @@ struct RunnerConfig
     /// Fill RunResult::hostSeconds with per-job wall-clock.
     bool measureHostTime = true;
     /// Emit one machine-readable status line to stderr as each job
-    /// finishes ("[jobs_done/jobs_total] <label> ..."), plus a host
-    /// profile report after the batch when UFC_PROFILE is on.  Progress
-    /// output never affects results (stderr only, completion order).
+    /// finishes ("[jobs_done/jobs_total] <label> status=... ..."), plus
+    /// a host profile report after the batch when UFC_PROFILE is on.
+    /// Lines are serialized under a mutex so concurrent completions
+    /// cannot interleave characters.  Progress output never affects
+    /// results (stderr only, completion order).
     bool progress = false;
+    /// Extra attempts after a failed one (not applied to timeouts — a
+    /// hung job would hang again).  0 = fail on the first error.
+    int maxRetries = 0;
+    /// Per-attempt cooperative deadline in host seconds, enforced via
+    /// the cycle engine's poll points; <= 0 disables.  A tripped
+    /// deadline marks the job timed_out without disturbing the batch.
+    double jobTimeoutSeconds = 0.0;
+    /// Optional deterministic fault source (tests): consulted at the
+    /// top of every job attempt; an injected fault follows the normal
+    /// failure/retry path.  Not owned.
+    const FaultInjector *faults = nullptr;
+};
+
+/** Terminal state of one job within a batch. */
+enum class JobStatus
+{
+    Ok,        ///< first attempt succeeded
+    RetriedOk, ///< a retry succeeded after >= 1 failed attempts
+    Failed,    ///< all attempts failed (last error captured)
+    TimedOut,  ///< deadline/watchdog tripped (never retried)
+};
+
+/** Stable lower-case tag for reports: "ok", "retried_ok", "failed",
+ *  "timed_out". */
+const char *jobStatusName(JobStatus status);
+
+/** Per-job diagnostic record filled by ExperimentRunner::runAll(). */
+struct JobOutcome
+{
+    JobStatus status = JobStatus::Ok;
+    /// Attempts consumed (1 = no retry).
+    int attempts = 1;
+    /// ufc::Error::kind() of the captured error ("TraceError",
+    /// "ConfigError", "SimError"); empty for a clean Ok.  RetriedOk
+    /// keeps the kind/message of the last *failed* attempt as the
+    /// retry diagnostic.
+    std::string errorKind;
+    /// Captured what() of the error; empty for a clean Ok.
+    std::string message;
+
+    /// Did the job produce a valid result?
+    bool
+    ok() const
+    {
+        return status == JobStatus::Ok || status == JobStatus::RetriedOk;
+    }
+};
+
+/**
+ * A completed batch: one result slot and one outcome per job, in job
+ * order.  Failed/timed-out slots hold a placeholder RunResult carrying
+ * only the job's label; consult outcomes[i].ok() before reading a slot.
+ */
+struct BatchResult
+{
+    std::vector<sim::RunResult> results;
+    std::vector<JobOutcome> outcomes;
+
+    std::size_t failureCount() const;
+    bool allOk() const { return failureCount() == 0; }
+
+    /// Results of the successful jobs only (job order preserved).
+    std::vector<sim::RunResult> okResults() const;
+
+    /// Throw the first failure as a typed ufc::Error (TimedOut as
+    /// TimeoutError); no-op when allOk().
+    void throwFirstFailure() const;
 };
 
 /**
@@ -65,7 +152,18 @@ class ExperimentRunner
   public:
     explicit ExperimentRunner(const RunnerConfig &cfg = RunnerConfig{});
 
-    /** Run every job; blocks until all complete. */
+    /**
+     * Run every job with per-job fault isolation; blocks until all
+     * complete.  Never throws for job-level failures — each job's
+     * fate lands in its JobOutcome, and the sibling jobs' results are
+     * bit-identical to a batch without the failing jobs.
+     */
+    BatchResult runAll(const std::vector<Job> &jobs) const;
+
+    /** Run every job; blocks until all complete.  Convenience wrapper
+     *  over runAll() that throws the first failure's typed ufc::Error
+     *  (after the whole batch has finished) — for callers that treat
+     *  any failure as fatal. */
     std::vector<sim::RunResult> run(const std::vector<Job> &jobs) const;
 
     /** Threads the pool would use for a batch of `jobs` jobs. */
@@ -74,6 +172,9 @@ class ExperimentRunner
     const RunnerConfig &config() const { return cfg_; }
 
   private:
+    void runOne(const Job &job, std::size_t index,
+                sim::RunResult &result, JobOutcome &outcome) const;
+
     RunnerConfig cfg_;
 };
 
@@ -87,7 +188,7 @@ class ResultSet
     ResultSet() = default;
     explicit ResultSet(std::vector<sim::RunResult> results);
 
-    /** Result with the given label; ufcFatal if absent. */
+    /** Result with the given label; throws ufc::ConfigError if absent. */
     const sim::RunResult &at(const std::string &label) const;
     bool contains(const std::string &label) const;
 

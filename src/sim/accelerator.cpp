@@ -11,7 +11,7 @@
 
 #include "sim/accelerator.h"
 
-#include "common/check.h"
+#include "common/error.h"
 #include "sim/timeline.h"
 
 namespace ufc {
@@ -24,12 +24,15 @@ RunStats
 lowerAndRun(const trace::Trace &tr, const compiler::LoweringOptions &opts,
             const MachinePerf &perf, const RunOptions &runOpts)
 {
+    validateRunOptions(runOpts);
     // -1 is the "model default" sentinel; 0 is an explicit request for a
     // no-lookahead memory engine.
     const int window = runOpts.prefetchWindow >= 0
                            ? runOpts.prefetchWindow
                            : CycleEngine::kDefaultPrefetchWindow;
     CycleEngine engine(&perf, window);
+    engine.setMaxCycles(runOpts.maxCycles);
+    engine.setHostDeadline(runOpts.hostDeadline);
     if (runOpts.timeline) {
         runOpts.timeline->clear();
         engine.setTimeline(runOpts.timeline);
@@ -103,9 +106,12 @@ SharpModel::run(const trace::Trace &tr, const RunOptions &opts) const
 {
     for (const auto &op : tr.ops) {
         // Ring-side scheme-switching ops (extract/repack) are CKKS-style
-        // polynomial work; only logic-scheme ops are unsupported.
-        UFC_CHECK(op.scheme() != trace::Scheme::Tfhe,
-                  "SHARP only supports SIMD-scheme (CKKS) operations");
+        // polynomial work; only logic-scheme ops are unsupported.  A
+        // trace/machine mismatch is a job-configuration fault, not an
+        // internal bug — recoverable, so a sweep survives it.
+        UFC_EXPECT(op.scheme() != trace::Scheme::Tfhe, ConfigError,
+                   "SHARP only supports SIMD-scheme (CKKS) operations; "
+                   "trace '" << tr.name << "' contains TFHE ops");
     }
     baselines::SharpPerf perf(cfg_);
     compiler::LoweringOptions lopts;
@@ -138,8 +144,9 @@ RunResult
 StrixModel::run(const trace::Trace &tr, const RunOptions &opts) const
 {
     for (const auto &op : tr.ops) {
-        UFC_CHECK(op.scheme() == trace::Scheme::Tfhe,
-                  "Strix only supports logic-scheme (TFHE) operations");
+        UFC_EXPECT(op.scheme() == trace::Scheme::Tfhe, ConfigError,
+                   "Strix only supports logic-scheme (TFHE) operations; "
+                   "trace '" << tr.name << "' contains non-TFHE ops");
     }
     baselines::StrixPerf perf(cfg_);
     compiler::LoweringOptions lopts;
@@ -179,6 +186,7 @@ ComposedModel::ComposedModel(const baselines::SharpConfig &sharp,
 RunResult
 ComposedModel::run(const trace::Trace &tr, const RunOptions &opts) const
 {
+    validateRunOptions(opts);
     // Partition the trace by scheme.  Scheme-switching ops run on the
     // SIMD chip (extraction/repacking are ring operations) but their LWE
     // payloads cross PCIe to reach the logic chip.

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "common/error.h"
 #include "sim/timeline.h"
 
 namespace ufc {
@@ -75,6 +76,18 @@ CycleEngine::reset()
 void
 CycleEngine::issue(const isa::HwInst &inst)
 {
+    // Cheap cooperative poll point: check the host deadline once every
+    // kDeadlinePollPeriod instructions so a hung/runaway job can be
+    // cancelled without per-issue syscall cost.
+    if (hostDeadline_ != std::chrono::steady_clock::time_point{} &&
+        stats_.instCount % kDeadlinePollPeriod == 0 &&
+        std::chrono::steady_clock::now() >= hostDeadline_) {
+        UFC_THROW(TimeoutError,
+                  "host deadline exceeded after "
+                      << stats_.instCount << " instructions ("
+                      << computeClock_ << " simulated cycles)");
+    }
+
     // Memory phase: fetch missing operands, schedule write-backs.
     double fetchBytes = 0.0;
     double wbBytes = 0.0;
@@ -111,6 +124,15 @@ CycleEngine::issue(const isa::HwInst &inst)
     const double start = std::max(computeBefore, memDone);
     const double done = start + cCycles + fill;
     computeClock_ = done;
+
+    // Simulated-cycle watchdog (RunOptions::maxCycles): a pathological
+    // or runaway instruction stream trips here deterministically.
+    if (maxCycles_ > 0 && computeClock_ > static_cast<double>(maxCycles_))
+        UFC_THROW(TimeoutError,
+                  "maxCycles watchdog tripped: "
+                      << computeClock_ << " simulated cycles > bound "
+                      << maxCycles_ << " after " << stats_.instCount + 1
+                      << " instructions");
 
     if (window_ > 0) {
         recentComputeDone_.push_back(done);

@@ -22,6 +22,7 @@
 #ifndef UFC_SIM_ENGINE_H
 #define UFC_SIM_ENGINE_H
 
+#include <chrono>
 #include <deque>
 #include <list>
 #include <unordered_map>
@@ -130,6 +131,25 @@ class CycleEngine : public isa::InstSink
      *  with or without it. */
     void setTimeline(Timeline *timeline) { timeline_ = timeline; }
 
+    /** Simulated-cycle watchdog: issue() throws ufc::TimeoutError (a
+     *  SimError) once the compute clock passes `cycles`.  0 disables
+     *  (the default).  Deterministic: the trip point depends only on
+     *  the instruction stream. */
+    void setMaxCycles(u64 cycles) { maxCycles_ = cycles; }
+
+    /** Cooperative host-side deadline: issue() polls the wall clock
+     *  every kDeadlinePollPeriod instructions (a cheap poll point) and
+     *  throws ufc::TimeoutError once it passes.  The default epoch
+     *  time point disarms the check. */
+    void
+    setHostDeadline(std::chrono::steady_clock::time_point deadline)
+    {
+        hostDeadline_ = deadline;
+    }
+
+    /// Instructions between host-deadline wall-clock polls.
+    static constexpr u64 kDeadlinePollPeriod = 1024;
+
     void issue(const isa::HwInst &inst) override;
 
     /** Phase markers forwarded by the compiler; recorded to the attached
@@ -148,6 +168,8 @@ class CycleEngine : public isa::InstSink
     SpadModel spad_;
     int window_;
     Timeline *timeline_ = nullptr;
+    u64 maxCycles_ = 0; ///< 0 = unlimited
+    std::chrono::steady_clock::time_point hostDeadline_{};
 
     double computeClock_ = 0.0;
     double memClock_ = 0.0;

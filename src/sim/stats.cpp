@@ -12,8 +12,22 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/error.h"
+
 namespace ufc {
 namespace sim {
+
+void
+validateRunOptions(const RunOptions &opts)
+{
+    UFC_EXPECT(opts.prefetchWindow >= -1, ConfigError,
+               "RunOptions.prefetchWindow must be >= -1 (-1 = model "
+               "default, 0 = no lookahead), got "
+                   << opts.prefetchWindow);
+    UFC_EXPECT(opts.prefetchWindow <= (1 << 20), ConfigError,
+               "RunOptions.prefetchWindow is absurdly large: "
+                   << opts.prefetchWindow);
+}
 
 namespace {
 

@@ -44,6 +44,7 @@
 
 #include <array>
 #include <cassert>
+#include <chrono>
 #include <string>
 
 #include "isa/inst.h"
@@ -82,6 +83,18 @@ struct RunOptions
     /// Free-form run label carried into RunResult::label; the experiment
     /// runner keys result lookup on it.
     std::string label;
+    /// Simulated-cycle watchdog: the cycle engine throws SimError
+    /// (TimeoutError) once its clock passes this bound.  0 = unlimited
+    /// (the default).  Deterministic — the same trace trips at the same
+    /// instruction on every run and thread count.  On the composed
+    /// machine the bound applies to each chip's engine independently.
+    u64 maxCycles = 0;
+    /// Host-side cooperative deadline: the engine polls the wall clock
+    /// at cheap intervals and throws TimeoutError once it passes.  The
+    /// default (epoch) time point disarms it.  Filled by the experiment
+    /// runner from RunnerConfig::jobTimeoutSeconds; unlike maxCycles it
+    /// is inherently nondeterministic, so prefer maxCycles in tests.
+    std::chrono::steady_clock::time_point hostDeadline{};
     /// Optional caller-owned event-stream recorder.  When set, the cycle
     /// engine records begin/end slices per instruction and per resource
     /// lane plus phase regions into it (cleared first).  Recording never
@@ -89,6 +102,15 @@ struct RunOptions
     /// it.  ComposedModel ignores it for its sub-runs.
     Timeline *timeline = nullptr;
 };
+
+/**
+ * Validate a RunOptions value before a run; throws ufc::ConfigError on
+ * inconsistency (currently: prefetchWindow below the -1 sentinel or
+ * absurdly large).  Every AcceleratorModel::run() calls this first, so
+ * a bad per-job configuration surfaces as a contained, typed failure
+ * rather than undefined engine behavior.
+ */
+void validateRunOptions(const RunOptions &opts);
 
 /** Per-opcode attribution row (one per isa::HwOp). */
 struct OpStats

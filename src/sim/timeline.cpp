@@ -15,7 +15,7 @@
 #include <fstream>
 #include <ostream>
 
-#include "common/check.h"
+#include "common/error.h"
 
 namespace ufc {
 namespace sim {
@@ -74,9 +74,10 @@ void
 Timeline::saveChromeTrace(const std::string &path) const
 {
     std::ofstream os(path);
-    UFC_REQUIRE(os.good(), "cannot open " + path + " for writing");
+    UFC_EXPECT(os.good(), ConfigError,
+               "cannot open " << path << " for writing");
     writeChromeTrace(os);
-    UFC_REQUIRE(os.good(), "write failed: " + path);
+    UFC_EXPECT(os.good(), ConfigError, "write failed: " << path);
 }
 
 } // namespace sim

@@ -109,7 +109,8 @@ class Timeline
     /** Emit the recorded slices as Chrome trace-event JSON. */
     void writeChromeTrace(std::ostream &os) const;
 
-    /** writeChromeTrace() to a file; exits via ufcFatal on I/O error. */
+    /** writeChromeTrace() to a file; throws ufc::ConfigError on I/O
+     *  error. */
     void saveChromeTrace(const std::string &path) const;
 
     /** Human-readable track name ("butterfly", "hbm", "phase", ...). */

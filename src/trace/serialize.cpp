@@ -21,6 +21,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/error.h"
 
 namespace ufc {
 namespace trace {
@@ -100,14 +101,46 @@ writeTrace(const Trace &tr, std::ostream &os)
     os << "end\n";
 }
 
+namespace {
+
+// Parser guard rails: reject absurd values before they can size a
+// runaway allocation or feed nonsense into the models.
+constexpr std::size_t kMaxLineLen = 4096;
+constexpr std::size_t kMaxOps = std::size_t(1) << 26;      // ~67M lines
+constexpr std::size_t kMaxPhases = std::size_t(1) << 22;
+constexpr u64 kMaxRingDim = u64(1) << 26;
+constexpr int kMaxSmallField = 1 << 20;  // levels/dnum/limbs/fanIn/...
+constexpr int kMaxCount = 1 << 30;       // batched op multiplicity
+
+} // namespace
+
 Trace
 readTrace(std::istream &is)
 {
     Trace tr;
     std::string line;
+    std::size_t lineNo = 0;
+    int version = 0;
     bool sawEnd = false;
     bool sawMagic = false;
+    // Duplicate-header detection ("duplicate-id" corruption class).
+    bool sawName = false, sawCkks = false, sawTfhe = false,
+         sawLive = false;
+    // Phase-marker validation state: strict nesting, non-decreasing
+    // opIndex, no exact duplicates.
+    int openPhases = 0;
+    u64 lastPhaseOp = 0;
+    std::string lastPhaseLine;
+
+    const auto fail = [&](const std::string &what) {
+        UFC_THROW(TraceError,
+                  what << " [line " << lineNo << ": " << line << "]");
+    };
+
     while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.size() > kMaxLineLen)
+            fail("trace line too long");
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream ss(line);
@@ -116,59 +149,131 @@ readTrace(std::istream &is)
         if (!sawMagic) {
             // The first meaningful line must be the versioned magic;
             // anything else (including a headerless v1 file) is rejected.
-            UFC_REQUIRE(tag == kTraceMagic,
-                        "not a ufc trace file (missing '"
-                            << kTraceMagic << "' magic, got '" << tag
-                            << "')");
-            int version = -1;
+            UFC_EXPECT(tag == kTraceMagic, TraceError,
+                       "not a ufc trace file (missing '"
+                           << kTraceMagic << "' magic, got '" << tag
+                           << "')");
             ss >> version;
-            UFC_REQUIRE(!ss.fail() && version >= kTraceMinReadVersion &&
-                            version <= kTraceFormatVersion,
-                        "unsupported trace format version "
-                            << version << " (expected "
-                            << kTraceMinReadVersion << ".."
-                            << kTraceFormatVersion << ")");
+            UFC_EXPECT(!ss.fail() && version >= kTraceMinReadVersion &&
+                           version <= kTraceFormatVersion,
+                       TraceError,
+                       "unsupported trace format version "
+                           << version << " (expected "
+                           << kTraceMinReadVersion << ".."
+                           << kTraceFormatVersion << ")");
             sawMagic = true;
             continue;
         }
         if (tag == "trace") {
+            if (sawName)
+                fail("duplicate 'trace' header line");
+            sawName = true;
             ss >> tr.name;
+            if (ss.fail() || tr.name.empty())
+                fail("malformed trace-name line");
         } else if (tag == "ckks") {
+            if (sawCkks)
+                fail("duplicate 'ckks' header line");
+            sawCkks = true;
             ss >> tr.ckksRingDim >> tr.ckksLevels >> tr.ckksSpecial >>
                 tr.ckksDnum >> tr.ckksLimbBits;
+            if (ss.fail())
+                fail("malformed ckks header line");
+            if (tr.ckksRingDim > kMaxRingDim ||
+                tr.ckksLevels < 0 || tr.ckksLevels > kMaxSmallField ||
+                tr.ckksSpecial < 0 || tr.ckksSpecial > kMaxSmallField ||
+                tr.ckksDnum < 0 || tr.ckksDnum > kMaxSmallField ||
+                tr.ckksLimbBits < 0 || tr.ckksLimbBits > 64)
+                fail("ckks parameter out of range");
         } else if (tag == "tfhe") {
+            if (sawTfhe)
+                fail("duplicate 'tfhe' header line");
+            sawTfhe = true;
             ss >> tr.tfheRingDim >> tr.tfheLweDim >>
                 tr.tfheGadgetLevels >> tr.tfheKsLevels >> tr.tfheLimbBits;
+            if (ss.fail())
+                fail("malformed tfhe header line");
+            if (tr.tfheRingDim > kMaxRingDim ||
+                tr.tfheLweDim > kMaxRingDim ||
+                tr.tfheGadgetLevels < 0 ||
+                tr.tfheGadgetLevels > kMaxSmallField ||
+                tr.tfheKsLevels < 0 ||
+                tr.tfheKsLevels > kMaxSmallField ||
+                tr.tfheLimbBits < 0 || tr.tfheLimbBits > 64)
+                fail("tfhe parameter out of range");
         } else if (tag == "live") {
+            if (sawLive)
+                fail("duplicate 'live' header line");
+            sawLive = true;
             ss >> tr.liveCiphertexts;
+            if (ss.fail() || tr.liveCiphertexts < 0 ||
+                tr.liveCiphertexts > kMaxSmallField)
+                fail("malformed live-ciphertexts line");
         } else if (tag == "phase") {
+            if (version < 3)
+                fail("phase markers require trace format v3");
+            if (tr.phases.size() >= kMaxPhases)
+                fail("too many phase markers");
             std::string kind;
             PhaseMark mark;
             ss >> kind >> mark.opIndex;
             mark.begin = kind == "begin";
-            UFC_REQUIRE(mark.begin || kind == "end",
-                        "malformed phase line: " << line);
+            if (!mark.begin && kind != "end")
+                fail("malformed phase line");
             if (mark.begin)
                 ss >> mark.name;
-            UFC_REQUIRE(!ss.fail() && (!mark.begin || !mark.name.empty()),
-                        "malformed phase line: " << line);
+            if (ss.fail() || (mark.begin && mark.name.empty()))
+                fail("malformed phase line");
+            // Two identical consecutive *begin* marks open the same
+            // region twice — a duplicate-marker corruption.  Identical
+            // consecutive end marks are legal (nested regions closing at
+            // the same op index).
+            if (mark.begin && line == lastPhaseLine)
+                fail("duplicate phase marker");
+            lastPhaseLine = line;
+            if (!tr.phases.empty() && mark.opIndex < lastPhaseOp)
+                fail("phase markers out of order");
+            lastPhaseOp = mark.opIndex;
+            if (mark.begin) {
+                ++openPhases;
+            } else {
+                if (openPhases <= 0)
+                    fail("phase 'end' without an open region");
+                --openPhases;
+            }
             tr.phases.push_back(std::move(mark));
         } else if (tag == "op") {
+            if (tr.ops.size() >= kMaxOps)
+                fail("too many ops");
             std::string mnemonic;
             TraceOp op{};
             ss >> mnemonic >> op.limbs >> op.count >> op.fanIn >> op.keyId;
-            UFC_REQUIRE(opKindFromName(mnemonic, op.kind),
-                        "unknown trace op: " << mnemonic);
-            UFC_REQUIRE(!ss.fail(), "malformed op line: " << line);
+            UFC_EXPECT(opKindFromName(mnemonic, op.kind), TraceError,
+                       "unknown trace op: " << mnemonic);
+            if (ss.fail())
+                fail("malformed op line");
+            if (op.limbs < 0 || op.limbs > kMaxSmallField ||
+                op.count < 1 || op.count > kMaxCount ||
+                op.fanIn < 0 || op.fanIn > kMaxSmallField ||
+                op.keyId < 0 || op.keyId > kMaxCount)
+                fail("op field out of range");
             tr.ops.push_back(op);
         } else if (tag == "end") {
             sawEnd = true;
             break;
         } else {
-            ufcFatal("unknown trace line tag: " + tag);
+            fail("unknown trace line tag: '" + tag + "'");
         }
     }
-    UFC_REQUIRE(sawEnd, "trace missing 'end' marker");
+    UFC_EXPECT(sawEnd, TraceError,
+               "trace truncated: missing 'end' marker");
+    UFC_EXPECT(openPhases == 0, TraceError,
+               "trace has " << openPhases << " unclosed phase region(s)");
+    for (const auto &mark : tr.phases)
+        UFC_EXPECT(mark.opIndex <= tr.ops.size(), TraceError,
+                   "phase marker index " << mark.opIndex
+                       << " past the end of the op stream ("
+                       << tr.ops.size() << " ops)");
     return tr;
 }
 
@@ -176,7 +281,8 @@ void
 saveTrace(const Trace &tr, const std::string &path)
 {
     std::ofstream os(path);
-    UFC_REQUIRE(os.good(), "cannot open " + path + " for writing");
+    UFC_EXPECT(os.good(), ConfigError,
+               "cannot open " << path << " for writing");
     writeTrace(tr, os);
 }
 
@@ -184,7 +290,7 @@ Trace
 loadTrace(const std::string &path)
 {
     std::ifstream is(path);
-    UFC_REQUIRE(is.good(), "cannot open " + path);
+    UFC_EXPECT(is.good(), TraceError, "cannot open trace file " << path);
     return readTrace(is);
 }
 

@@ -38,11 +38,22 @@ inline constexpr int kTraceMinReadVersion = 2;
 
 /** Write a trace in the text format (always the current version). */
 void writeTrace(const Trace &tr, std::ostream &os);
-/** Parse a trace from the text format; exits via ufcFatal on errors,
- *  including a missing magic line or an unknown version. */
+/**
+ * Parse a trace from the text format.  Every read is bounds-checked;
+ * truncated, corrupt, out-of-range or duplicate-marker input throws
+ * ufc::TraceError (never aborts and never returns a partially-valid
+ * trace), so a batch driver can contain a bad file to one job.
+ * Rejected inputs include: missing/garbled magic, unsupported version,
+ * truncated header or missing 'end', unknown tags or opcodes, negative
+ * or absurdly large field values, duplicate header lines, phase markers
+ * in pre-v3 files, unbalanced/duplicate/non-monotone phase markers, and
+ * phase indices past the end of the op stream.
+ */
 Trace readTrace(std::istream &is);
 
-/** Convenience file wrappers. */
+/** Convenience file wrappers; loadTrace throws ufc::TraceError when the
+ *  file cannot be opened or fails to parse, saveTrace throws
+ *  ufc::ConfigError when the path cannot be written. */
 void saveTrace(const Trace &tr, const std::string &path);
 Trace loadTrace(const std::string &path);
 

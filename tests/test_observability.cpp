@@ -407,9 +407,9 @@ TEST(Observability, InstrumentedRunIsBitIdenticalSerialAndParallel)
     const auto ufcm = std::make_shared<sim::UfcModel>();
 
     std::vector<runner::Job> jobs;
-    jobs.push_back({"knn", ufcm, knn, RunOptions{}});
-    jobs.push_back({"boot", ufcm, boot, RunOptions{}});
-    jobs.push_back({"pbs", ufcm, pbs, RunOptions{}});
+    jobs.push_back({"knn", ufcm, knn, RunOptions{}, ""});
+    jobs.push_back({"boot", ufcm, boot, RunOptions{}, ""});
+    jobs.push_back({"pbs", ufcm, pbs, RunOptions{}, ""});
 
     // Baseline: uninstrumented, serial.
     runner::RunnerConfig serialCfg;
@@ -567,7 +567,7 @@ TEST(Observability, HostProfilerIsThreadSafeUnderKernelPool)
     for (int i = 0; i < 4; ++i) {
         UFC_PROF_SCOPE("test.batch_scope");
         jobs.push_back({"job" + std::to_string(i), model, tracePtr,
-                        RunOptions{}});
+                        RunOptions{}, ""});
     }
     runner::RunnerConfig cfg;
     cfg.threads = 4;

@@ -98,7 +98,7 @@ mixedJobs()
                    std::shared_ptr<const sim::AcceleratorModel> model,
                    std::shared_ptr<const trace::Trace> tr) {
         jobs.push_back(Job{label, std::move(model), std::move(tr),
-                           RunOptions{}});
+                           RunOptions{}, ""});
     };
     add("helr/UFC", ufcm, helr);
     add("helr/SHARP", sharp, helr);
@@ -236,8 +236,8 @@ TEST(RunnerReport, JsonReportCarriesSchemaAndAllRuns)
     const auto strix = std::make_shared<sim::StrixModel>();
 
     std::vector<Job> jobs;
-    jobs.push_back(Job{"r/UFC", ufcm, pbs, RunOptions{}});
-    jobs.push_back(Job{"r/Strix", strix, pbs, RunOptions{}});
+    jobs.push_back(Job{"r/UFC", ufcm, pbs, RunOptions{}, ""});
+    jobs.push_back(Job{"r/Strix", strix, pbs, RunOptions{}, ""});
     const auto results = ExperimentRunner().run(jobs);
 
     std::ostringstream json;

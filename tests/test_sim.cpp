@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
 #include "sim/accelerator.h"
 #include "workloads/workloads.h"
 
@@ -195,7 +196,9 @@ TEST(Accelerators, SharpRejectsTfheTraces)
     const auto tp = tfhe::TfheParams::t1();
     SharpModel sharp;
     const auto tr = workloads::pbsThroughput(tp, 16);
-    EXPECT_DEATH({ sharp.run(tr); }, "SIMD-scheme");
+    // A scheme/machine mismatch is user input, so it must surface as a
+    // recoverable ConfigError rather than a process abort.
+    EXPECT_THROW({ sharp.run(tr); }, ConfigError);
 }
 
 TEST(CostModel, AreaMatchesPaperTotals)

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
 #include "compiler/lowering.h"
 #include "trace/serialize.h"
 #include "workloads/workloads.h"
@@ -116,7 +117,7 @@ TEST(TraceSerialize, AllOpKindsHaveUniqueNames)
 TEST(TraceSerialize, RejectsMalformedInput)
 {
     std::stringstream ss("ufctrace 2\ntrace x\nop bogus.op 1 1 0 0\nend\n");
-    EXPECT_DEATH({ trace::readTrace(ss); }, "unknown trace op");
+    EXPECT_THROW({ trace::readTrace(ss); }, TraceError);
 }
 
 TEST(Lowering, KeySwitchNttCountMatchesHybridStructure)
