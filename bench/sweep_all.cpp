@@ -112,6 +112,9 @@ usage(const char *argv0)
         "  --timeout S       per-job host deadline in seconds\n"
         "  --max-cycles N    simulated-cycle watchdog per job "
         "(default: unlimited)\n"
+        "  --lint            static-analysis pre-flight on every job's\n"
+        "                    trace (RunOptions::lintTraces); a trace\n"
+        "                    with lint errors fails its job only\n"
         "  --compare-serial  run parallel then serial, verify identical\n"
         "                    results, report the speedup\n"
         "  --progress        per-job status lines on stderr\n"
@@ -133,6 +136,7 @@ try {
     std::vector<std::string> only;
     std::vector<std::string> userTraces;
     u64 maxCycles = 0;
+    bool lint = false;
     bool noPaper = false;
     bool compareSerial = false;
     bool list = false;
@@ -167,6 +171,8 @@ try {
             cfg.jobTimeoutSeconds = std::atof(value());
         else if (arg == "--max-cycles")
             maxCycles = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--lint")
+            lint = true;
         else if (arg == "--compare-serial")
             compareSerial = true;
         else if (arg == "--progress")
@@ -213,6 +219,9 @@ try {
     if (maxCycles > 0)
         for (auto &job : jobs)
             job.options.maxCycles = maxCycles;
+    if (lint)
+        for (auto &job : jobs)
+            job.options.lintTraces = true;
     if (jobs.empty()) {
         std::fprintf(stderr, "no jobs selected (--no-paper without "
                              "--trace?)\n");

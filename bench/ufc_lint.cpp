@@ -1,0 +1,157 @@
+/**
+ * @file
+ * ufc-lint: pass-based static verifier for trace IR and lowered
+ * instruction streams.
+ *
+ * Lints saved .ufctrace files and/or every built-in workload generator:
+ * trace-level passes (scheme legality, limb-chain consistency, phase
+ * discipline, batched-op field validity, working-set feasibility) plus —
+ * unless --trace-only — a verifying lowering that checks per-instruction
+ * operand invariants on the compiler's actual output.
+ *
+ *   ./build/bench/ufc_lint trace.ufctrace
+ *   ./build/bench/ufc_lint --builtins --Werror     # CI gate
+ *   ./build/bench/ufc_lint --json a.ufctrace b.ufctrace
+ *   ./build/bench/ufc_lint --rules                 # registry table
+ *
+ * Exit codes follow the repo's CLI conventions: 0 = clean, 1 = findings
+ * (errors, or warnings under --Werror) or a typed error (unreadable /
+ * unparseable trace file), 2 = usage.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "common/error.h"
+#include "compiler/lowering.h"
+#include "trace/serialize.h"
+#include "workloads/workloads.h"
+
+using namespace ufc;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [TRACE_FILE...] [options]\n"
+        "  TRACE_FILE      traces saved in the ufctrace format\n"
+        "  --builtins      also lint every built-in workload generator\n"
+        "  --trace-only    skip the instruction-level verifying lowering\n"
+        "  --Werror        treat warnings as findings (exit 1)\n"
+        "  --json          machine-readable report per subject\n"
+        "  --quiet         suppress per-subject ok lines\n"
+        "  --rules         print the rule registry and exit\n",
+        argv0);
+}
+
+void
+printRules()
+{
+    std::printf("%-26s %-8s %s\n", "rule", "severity", "description");
+    for (const auto &rule : analysis::ruleRegistry())
+        std::printf("%-26s %-8s %s\n", rule.id,
+                    analysis::severityName(rule.severity),
+                    rule.description);
+}
+
+struct Subject
+{
+    std::string label;
+    trace::Trace tr;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    std::vector<std::string> files;
+    bool builtins = false;
+    bool traceOnly = false;
+    bool wError = false;
+    bool asJson = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--builtins")
+            builtins = true;
+        else if (arg == "--trace-only")
+            traceOnly = true;
+        else if (arg == "--Werror")
+            wError = true;
+        else if (arg == "--json")
+            asJson = true;
+        else if (arg == "--quiet")
+            quiet = true;
+        else if (arg == "--rules") {
+            printRules();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-') {
+            files.push_back(arg);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (files.empty() && !builtins) {
+        std::fprintf(stderr,
+                     "give at least one TRACE_FILE or --builtins\n");
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::vector<Subject> subjects;
+    for (const auto &path : files)
+        subjects.push_back(Subject{path, trace::loadTrace(path)});
+    if (builtins) {
+        const auto cp = ckks::CkksParams::c2();
+        const auto tp = tfhe::TfheParams::t3();
+        for (auto &tr : workloads::ckksSuite(cp))
+            subjects.push_back(
+                Subject{"builtin:" + tr.name, std::move(tr)});
+        for (auto &tr : workloads::tfheSuite(tp))
+            subjects.push_back(
+                Subject{"builtin:" + tr.name, std::move(tr)});
+        auto knn = workloads::hybridKnn(cp, tp);
+        subjects.push_back(
+            Subject{"builtin:" + knn.name, std::move(knn)});
+    }
+
+    const analysis::Analyzer linter;
+    const compiler::LoweringOptions lowerOpts; // machine-default knobs
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    for (const auto &subject : subjects) {
+        const analysis::DiagnosticReport rep =
+            traceOnly ? linter.analyze(subject.tr)
+                      : linter.analyzeLowered(subject.tr, lowerOpts);
+        errors += rep.errorCount();
+        warnings += rep.warningCount();
+        if (asJson) {
+            std::printf("%s\n", rep.toJson(subject.label).c_str());
+        } else if (!rep.empty()) {
+            std::printf("%s:\n", subject.label.c_str());
+            for (const auto &d : rep.diagnostics())
+                std::printf("  %s\n", d.format().c_str());
+        } else if (!quiet) {
+            std::printf("%s: ok\n", subject.label.c_str());
+        }
+    }
+
+    if (!quiet && !asJson)
+        std::printf("%zu subject(s), %zu error(s), %zu warning(s)\n",
+                    subjects.size(), errors, warnings);
+    return (errors > 0 || (wError && warnings > 0)) ? 1 : 0;
+} catch (const ufc::Error &e) {
+    std::fprintf(stderr, "error: %s: %s\n", e.kind().c_str(), e.what());
+    return 1;
+}

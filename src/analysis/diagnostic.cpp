@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Diagnostic formatting (text + JSON) for the static verifier.
+ */
+
+#include "analysis/diagnostic.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ufc {
+namespace analysis {
+
+namespace {
+
+/** Minimal JSON string escaping (same subset report.cpp emits). */
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::format() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << "[" << rule << "]";
+    if (opIndex != kTraceLevel)
+        os << " op#" << opIndex;
+    if (!phase.empty())
+        os << " (" << phase << ")";
+    os << ": " << message;
+    if (!hint.empty())
+        os << " (hint: " << hint << ")";
+    return os.str();
+}
+
+void
+DiagnosticReport::add(Diagnostic d)
+{
+    diags_.push_back(std::move(d));
+}
+
+std::size_t
+DiagnosticReport::errorCount() const
+{
+    std::size_t n = 0;
+    for (const auto &d : diags_)
+        if (d.severity == Severity::Error)
+            ++n;
+    return n;
+}
+
+std::size_t
+DiagnosticReport::warningCount() const
+{
+    return diags_.size() - errorCount();
+}
+
+bool
+DiagnosticReport::clean(Severity floor) const
+{
+    if (floor == Severity::Warning)
+        return diags_.empty();
+    return errorCount() == 0;
+}
+
+const Diagnostic *
+DiagnosticReport::firstError() const
+{
+    for (const auto &d : diags_)
+        if (d.severity == Severity::Error)
+            return &d;
+    return nullptr;
+}
+
+void
+DiagnosticReport::merge(const DiagnosticReport &other)
+{
+    diags_.insert(diags_.end(), other.diags_.begin(),
+                  other.diags_.end());
+}
+
+std::string
+DiagnosticReport::toText() const
+{
+    std::string out;
+    for (const auto &d : diags_) {
+        out += d.format();
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+DiagnosticReport::toJson(const std::string &subject) const
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"ufc.lint/v1\""
+       << ",\"subject\":" << jsonStr(subject)
+       << ",\"errors\":" << errorCount()
+       << ",\"warnings\":" << warningCount() << ",\"diagnostics\":[";
+    bool first = true;
+    for (const auto &d : diags_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"severity\":\"" << severityName(d.severity) << "\""
+           << ",\"rule\":" << jsonStr(d.rule)
+           << ",\"op_index\":" << d.opIndex
+           << ",\"phase\":" << jsonStr(d.phase)
+           << ",\"message\":" << jsonStr(d.message)
+           << ",\"hint\":" << jsonStr(d.hint) << "}";
+    }
+    os << (first ? "]}" : "\n]}");
+    return os.str();
+}
+
+} // namespace analysis
+} // namespace ufc

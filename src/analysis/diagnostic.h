@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Structured diagnostics for the static trace/instruction verifier.
+ *
+ * Every rule violation found by an analysis pass (src/analysis/analyzer.h)
+ * or by the instruction-stream verifier (src/analysis/verifying_sink.h)
+ * lands in a Diagnostic: a stable rule id, a severity, the op index and
+ * innermost phase it points at, a human-readable message and a fix hint.
+ * Reports collect diagnostics in emission order and render them as text
+ * (one line per finding, compiler-style) or JSON (for the `ufc_lint`
+ * CLI's machine-readable mode).
+ */
+
+#ifndef UFC_ANALYSIS_DIAGNOSTIC_H
+#define UFC_ANALYSIS_DIAGNOSTIC_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ufc {
+namespace analysis {
+
+/** How bad a finding is.  Errors mean the trace/stream is semantically
+ *  illegal and would mis-simulate; warnings flag implausible but
+ *  executable inputs.  `ufc_lint --Werror` promotes warnings. */
+enum class Severity
+{
+    Warning,
+    Error,
+};
+
+/** Stable lower-case tag for reports: "warning" / "error". */
+const char *severityName(Severity severity);
+
+/** One finding, tied to a rule id from the registry in analyzer.h. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    /// Stable rule identifier (e.g. "limb-range"); see kRules.
+    std::string rule;
+    /// What is wrong, in one sentence.
+    std::string message;
+    /// How to fix it; may be empty.
+    std::string hint;
+    /// High-level op index the finding points at, or kTraceLevel for a
+    /// finding about the trace header / whole stream.  For
+    /// instruction-level findings this is the lowered-instruction index.
+    std::ptrdiff_t opIndex = kTraceLevel;
+    /// Innermost open workload phase at opIndex; empty when none.
+    std::string phase;
+
+    static constexpr std::ptrdiff_t kTraceLevel = -1;
+
+    /** "error[limb-range] op#12 (bootstrap): ... (hint: ...)" */
+    std::string format() const;
+};
+
+/** Ordered collection of findings from one analysis run. */
+class DiagnosticReport
+{
+  public:
+    void add(Diagnostic d);
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+    std::size_t size() const { return diags_.size(); }
+    bool empty() const { return diags_.empty(); }
+
+    std::size_t errorCount() const;
+    std::size_t warningCount() const;
+
+    /** No findings at or above the given floor (Warning = any finding
+     *  fails, Error = warnings tolerated). */
+    bool clean(Severity floor = Severity::Error) const;
+
+    /** First Error-severity finding, or nullptr when clean. */
+    const Diagnostic *firstError() const;
+
+    /** Merge another report's findings after this one's. */
+    void merge(const DiagnosticReport &other);
+
+    /** One line per finding (Diagnostic::format), newline-terminated. */
+    std::string toText() const;
+
+    /** JSON array of finding objects with a summary header:
+     *  {"schema":"ufc.lint/v1","errors":N,"warnings":M,
+     *   "diagnostics":[...]}.  `subject` names what was linted. */
+    std::string toJson(const std::string &subject) const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace analysis
+} // namespace ufc
+
+#endif // UFC_ANALYSIS_DIAGNOSTIC_H

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Instruction-stream verifier implementation.
+ */
+
+#include "analysis/verifying_sink.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "analysis/analyzer.h"
+
+namespace ufc {
+namespace analysis {
+
+namespace {
+
+/// Largest supported log2 ring dimension; matches the trace parser's
+/// kMaxRingDim guard (2^26) in trace/serialize.cpp.
+constexpr u32 kMaxLogDegree = 26;
+
+} // namespace
+
+VerifyingSink::VerifyingSink(isa::InstSink *inner,
+                             DiagnosticReport *report)
+    : inner_(inner), report_(report)
+{}
+
+void
+VerifyingSink::diag(const char *rule, std::ptrdiff_t index,
+                    std::string message, std::string hint)
+{
+    Diagnostic d;
+    d.severity = ruleSeverity(rule);
+    d.rule = rule;
+    d.message = std::move(message);
+    d.hint = std::move(hint);
+    d.opIndex = index;
+    if (!phaseStack_.empty())
+        d.phase = phaseStack_.back();
+    report_->add(std::move(d));
+}
+
+void
+VerifyingSink::issue(const isa::HwInst &inst)
+{
+    const auto index = static_cast<std::ptrdiff_t>(instIndex_++);
+    const char *mnemonic = isa::opName(inst.op);
+
+    if (inst.batch < 1) {
+        std::ostringstream os;
+        os << mnemonic << " has batch " << inst.batch;
+        diag("inst-batch", index, os.str(),
+             "every instruction processes at least one polynomial");
+    }
+    if (inst.logDegree > kMaxLogDegree) {
+        std::ostringstream os;
+        os << mnemonic << " has logDegree " << inst.logDegree
+           << " (max " << kMaxLogDegree << ")";
+        diag("inst-degree", index, os.str(),
+             "check the trace's ring-dimension header");
+    }
+    if (inst.words == 0 && inst.buffers.empty()) {
+        std::ostringstream os;
+        os << mnemonic << " moves no operand words and touches no buffer";
+        diag("inst-no-operands", index, os.str(),
+             "dead instruction: drop it or attach its operands");
+    }
+
+    // (i)NTT butterfly accounting: `work` counts butterflies over the
+    // operand words, and a full transform is exactly (n/2)*log2(n)
+    // butterflies per polynomial — i.e. words * logDegree / 2 in
+    // word-units, for every lowering in the repo.  A mismatch means a
+    // compiler miscounted the dominant primitive of the whole model.
+    if (inst.op == isa::HwOp::Ntt || inst.op == isa::HwOp::Intt ||
+        inst.op == isa::HwOp::NttAuto) {
+        const u64 expect = inst.words * inst.logDegree / 2;
+        if (inst.work != expect) {
+            std::ostringstream os;
+            os << mnemonic << " declares " << inst.work
+               << " butterfly work units, expected words * logDegree / 2"
+               << " = " << expect << " (words=" << inst.words
+               << ", logDegree=" << inst.logDegree << ")";
+            diag("inst-ntt-work", index, os.str(),
+                 "a transform is batch * (n/2) * log2 n butterflies");
+        }
+    }
+
+    for (const auto &buf : inst.buffers) {
+        if (buf.transient && buf.streaming) {
+            std::ostringstream os;
+            os << mnemonic << " buffer " << buf.id
+               << " is both transient and streaming";
+            diag("buf-transient-streaming", index, os.str(),
+                 "transient = lives on chip, streaming = never cached; "
+                 "pick one");
+        }
+        if (buf.transient) {
+            auto &use = transients_[buf.id];
+            if (buf.write) {
+                if (use.firstWrite < 0)
+                    use.firstWrite = index;
+            } else {
+                if (use.firstRead < 0)
+                    use.firstRead = index;
+                if (use.firstWrite < 0) {
+                    std::ostringstream os;
+                    os << mnemonic << " reads transient buffer "
+                       << buf.id << " before any write";
+                    diag("buf-use-before-def", index, os.str(),
+                         "transient data never touches DRAM, so a "
+                         "producer instruction must precede this read");
+                }
+            }
+        }
+    }
+
+    if (inner_)
+        inner_->issue(inst);
+}
+
+void
+VerifyingSink::beginPhase(const char *name)
+{
+    phaseStack_.emplace_back(name ? name : "");
+    if (inner_)
+        inner_->beginPhase(name);
+}
+
+void
+VerifyingSink::endPhase()
+{
+    if (phaseStack_.empty()) {
+        diag("inst-phase-balance",
+             static_cast<std::ptrdiff_t>(instIndex_),
+             "endPhase without an open phase in the instruction stream",
+             "compilers must emit begin/end markers in strict pairs");
+    } else {
+        phaseStack_.pop_back();
+    }
+    if (inner_)
+        inner_->endPhase();
+}
+
+void
+VerifyingSink::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    for (const auto &name : phaseStack_) {
+        diag("inst-phase-balance",
+             static_cast<std::ptrdiff_t>(instIndex_),
+             "phase '" + name + "' still open at end of stream",
+             "close every phase the compiler opens");
+    }
+    // Sort unconsumed transients by first-write position so the report
+    // is deterministic (the tracking map is unordered).
+    std::vector<std::pair<std::ptrdiff_t, u64>> unconsumed;
+    for (const auto &[id, use] : transients_)
+        if (use.firstWrite >= 0 && use.firstRead < 0)
+            unconsumed.emplace_back(use.firstWrite, id);
+    std::sort(unconsumed.begin(), unconsumed.end());
+    for (const auto &[firstWrite, id] : unconsumed) {
+        std::ostringstream os;
+        os << "transient buffer " << id << " written at inst#"
+           << firstWrite << " but never read";
+        diag("buf-unconsumed-transient", firstWrite, os.str(),
+             "transient intermediates must be consumed on chip");
+    }
+}
+
+} // namespace analysis
+} // namespace ufc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Instruction-stream verifier: an isa::InstSink decorator that checks
+ * per-instruction operand invariants on the compiler's output before (or
+ * instead of) forwarding to a real consumer.
+ *
+ * The compilers in compiler/lowering.cpp encode the FHE algorithms'
+ * primitive counts; a bug there (or a new lowering path) used to surface
+ * only as a silently wrong cycle count.  Wrapping any InstSink — the
+ * cycle engine, a null sink — in a VerifyingSink turns a malformed
+ * stream into structured Diagnostics:
+ *
+ *   inst-ntt-work            (i)NTT work != batch * (n/2) * log2 n words
+ *   inst-no-operands         instruction moves no words, touches no buffer
+ *   inst-batch               batch < 1
+ *   inst-degree              logDegree above the supported ring range
+ *   buf-transient-streaming  buffer marked both transient and streaming
+ *   buf-use-before-def       transient buffer read before any write
+ *   buf-unconsumed-transient transient buffer written but never read
+ *   inst-phase-balance       endPhase without an open phase / open at end
+ *
+ * Wiring: compiler::LoweringOptions::lint points a lowering at a
+ * DiagnosticReport, and the Lowering constructor interposes this
+ * decorator around whatever sink it was given, so every compiler in the
+ * repo gets verification without per-call-site changes.
+ */
+
+#ifndef UFC_ANALYSIS_VERIFYING_SINK_H
+#define UFC_ANALYSIS_VERIFYING_SINK_H
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "isa/inst.h"
+
+namespace ufc {
+namespace analysis {
+
+/** InstSink decorator collecting per-instruction rule violations. */
+class VerifyingSink : public isa::InstSink
+{
+  public:
+    /**
+     * `inner` may be null (verify-only, instructions are discarded).
+     * `report` is caller-owned and must outlive the sink.
+     */
+    VerifyingSink(isa::InstSink *inner, DiagnosticReport *report);
+
+    void issue(const isa::HwInst &inst) override;
+    void beginPhase(const char *name) override;
+    void endPhase() override;
+
+    /**
+     * End-of-stream checks (unclosed phases, transient buffers produced
+     * but never consumed).  Call after the lowering completes; idempotent
+     * per stream.
+     */
+    void finish();
+
+    /** Instructions seen so far (diagnostic opIndex values refer to
+     *  this counter). */
+    std::size_t instCount() const { return instIndex_; }
+
+  private:
+    void diag(const char *rule, std::ptrdiff_t index, std::string message,
+              std::string hint);
+
+    isa::InstSink *inner_;
+    DiagnosticReport *report_;
+    std::size_t instIndex_ = 0;
+    std::vector<std::string> phaseStack_;
+    bool finished_ = false;
+
+    /** Transient-buffer dataflow: first write / first read positions. */
+    struct TransientUse
+    {
+        std::ptrdiff_t firstWrite = -1;
+        std::ptrdiff_t firstRead = -1;
+    };
+    std::unordered_map<u64, TransientUse> transients_;
+};
+
+} // namespace analysis
+} // namespace ufc
+
+#endif // UFC_ANALYSIS_VERIFYING_SINK_H

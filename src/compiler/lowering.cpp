@@ -9,6 +9,7 @@
 #include <bit>
 #include <cmath>
 
+#include "analysis/verifying_sink.h"
 #include "common/check.h"
 #include "trace/serialize.h"
 
@@ -25,6 +26,11 @@ Lowering::Lowering(const trace::Trace *tr, const LoweringOptions &opts,
                    isa::InstSink *sink)
     : trace_(tr), opts_(opts), sink_(sink)
 {
+    if (opts_.lint) {
+        verifier_ = std::make_unique<analysis::VerifyingSink>(
+            sink_, opts_.lint);
+        sink_ = verifier_.get();
+    }
     if (trace_->ckksRingDim) {
         n_ = trace_->ckksRingDim;
         logN_ = std::countr_zero(n_);
@@ -41,6 +47,8 @@ Lowering::Lowering(const trace::Trace *tr, const LoweringOptions &opts,
         bytesTfhe_ = wTfhe_ * (opts_.wordBits / 8.0);
     }
 }
+
+Lowering::~Lowering() = default;
 
 void
 Lowering::run()
@@ -69,6 +77,8 @@ Lowering::run()
         else
             sink_->endPhase();
     }
+    if (verifier_)
+        verifier_->finish();
 }
 
 void

@@ -15,10 +15,17 @@
 #ifndef UFC_COMPILER_LOWERING_H
 #define UFC_COMPILER_LOWERING_H
 
+#include <memory>
+
 #include "isa/inst.h"
 #include "trace/trace.h"
 
 namespace ufc {
+namespace analysis {
+class DiagnosticReport; // analysis/diagnostic.h
+class VerifyingSink;    // analysis/verifying_sink.h
+} // namespace analysis
+
 namespace compiler {
 
 /** Parallelism source prioritized when packing small polynomials. */
@@ -45,6 +52,12 @@ struct LoweringOptions
     Parallelism parallelism = Parallelism::TvLP;
     bool onTheFlyKeyGen = true;    ///< halve key traffic, add ALU work
 
+    /// When set, the lowering interposes an analysis::VerifyingSink
+    /// between itself and the target sink and appends any
+    /// per-instruction rule violations (inst-*, buf-*) to this
+    /// caller-owned report.  Null (the default) disables verification.
+    analysis::DiagnosticReport *lint = nullptr;
+
     int
     wordsPerCoeff(int limbBits) const
     {
@@ -66,8 +79,10 @@ class Lowering
   public:
     Lowering(const trace::Trace *tr, const LoweringOptions &opts,
              isa::InstSink *sink);
+    ~Lowering(); // out of line: verifier_ is incomplete here
 
-    /** Lower the whole trace. */
+    /** Lower the whole trace (and, when LoweringOptions::lint is set,
+     *  run the verifier's end-of-stream checks). */
     void run();
 
     /** Lower a single op (used recursively, e.g. repacking). */
@@ -103,6 +118,8 @@ class Lowering
     const trace::Trace *trace_;
     LoweringOptions opts_;
     isa::InstSink *sink_;
+    /// Interposed decorator when opts_.lint is set; owns no report.
+    std::unique_ptr<analysis::VerifyingSink> verifier_;
 
     // CKKS geometry cached from the trace.
     int logN_ = 0;

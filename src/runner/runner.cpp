@@ -25,6 +25,7 @@
 #include <mutex>
 #include <thread>
 
+#include "analysis/analyzer.h"
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/prof.h"
@@ -141,6 +142,25 @@ ExperimentRunner::runOne(const Job &job, std::size_t index,
             if (!tr)
                 tr = std::make_shared<const trace::Trace>(
                     trace::loadTrace(job.traceFile));
+
+            // Opt-in static-analysis pre-flight: a semantically corrupt
+            // trace fails fast as a typed TraceError (carrying the
+            // first diagnostic) instead of mis-simulating.  Trace-level
+            // passes only — instruction-level verification depends on
+            // the model's lowering options, and ufc_lint covers it
+            // offline.
+            if (job.options.lintTraces) {
+                static const analysis::Analyzer linter;
+                const analysis::DiagnosticReport rep =
+                    linter.analyze(*tr);
+                if (const analysis::Diagnostic *first =
+                        rep.firstError()) {
+                    throw TraceError(
+                        "lint failed for trace '" + tr->name + "' (" +
+                        std::to_string(rep.errorCount()) +
+                        " error(s)): " + first->format());
+                }
+            }
 
             sim::RunOptions opts = job.options;
             if (opts.label.empty())

@@ -101,6 +101,12 @@ struct RunOptions
     /// affects the schedule: results are bit-identical with or without
     /// it.  ComposedModel ignores it for its sub-runs.
     Timeline *timeline = nullptr;
+    /// Opt-in static-analysis pre-flight: when true, the experiment
+    /// runner lints each job's trace (analysis::Analyzer trace-level
+    /// passes) before simulating and fails the job with a TraceError
+    /// carrying the first diagnostic if any Error-severity finding
+    /// exists.  Per-job isolation applies: other jobs are unaffected.
+    bool lintTraces = false;
 };
 
 /**

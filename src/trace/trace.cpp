@@ -5,6 +5,8 @@
 
 #include "trace/trace.h"
 
+#include "common/error.h"
+
 namespace ufc {
 namespace trace {
 
@@ -31,6 +33,21 @@ TraceOp::scheme() const
         return Scheme::Switch;
     }
     return Scheme::Ckks;
+}
+
+void
+Trace::endPhase()
+{
+    // Recompute the balance instead of caching a counter: `phases` is a
+    // public vector, so callers may legally append marks directly.
+    int open = 0;
+    for (const auto &mark : phases)
+        open += mark.begin ? 1 : -1;
+    if (open <= 0)
+        throw TraceError("endPhase() on trace '" + name +
+                         "' with no open phase region (marks: " +
+                         std::to_string(phases.size()) + ")");
+    phases.push_back(PhaseMark{ops.size(), std::string(), false});
 }
 
 u64

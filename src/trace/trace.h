@@ -120,12 +120,16 @@ struct Trace
         phases.push_back(PhaseMark{ops.size(), name, true});
     }
 
-    /** Close the innermost open region after the last pushed op. */
-    void
-    endPhase()
-    {
-        phases.push_back(PhaseMark{ops.size(), std::string(), false});
-    }
+    /**
+     * Close the innermost open region after the last pushed op.
+     *
+     * Throws TraceError when no region is open — an unbalanced close is
+     * a generator bug, and diagnosing it at build time beats letting it
+     * corrupt every downstream timeline (the phase-discipline analysis
+     * pass reports the same condition, rule `phase-balance`, for traces
+     * built by other means, e.g. hand-edited .ufctrace files).
+     */
+    void endPhase();
 
     /** Total high-level op count (sum of batched counts). */
     u64 totalOps() const;

@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# Run clang-tidy (config: .clang-tidy at the repo root) over every
+# first-party translation unit in a compile_commands.json build.
+#
+#   ./tools/run_clang_tidy.sh [BUILD_DIR] [-- EXTRA_CLANG_TIDY_ARGS...]
+#
+# BUILD_DIR defaults to ./build and must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the tier-1 build recipe already
+# does).  Exit codes: 0 clean, 1 findings (WarningsAsErrors promotes
+# every finding), 2 usage/environment error.  When clang-tidy is not
+# installed (e.g. the gcc-only dev container) the script reports that
+# and exits 0 so local workflows don't hard-require the tool; CI
+# installs it and therefore gets the real run.
+set -u
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir="${1:-$repo_root/build}"
+shift 2>/dev/null || true
+[ "${1:-}" = "--" ] && shift
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_clang_tidy: clang-tidy not found on PATH; skipping" \
+         "(install clang-tidy to run the static-analysis profile)" >&2
+    exit 0
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "run_clang_tidy: $build_dir/compile_commands.json not found;" \
+         "configure with cmake -B \"$build_dir\"" \
+         "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 2
+fi
+
+# First-party TUs only: the compilation database also holds GTest /
+# benchmark sources we do not own.
+files=$(sed -n 's/^ *"file": "\(.*\)",\{0,1\}$/\1/p' \
+            "$build_dir/compile_commands.json" | sort -u |
+        grep -E "^$repo_root/(src|tests|bench|examples)/")
+if [ -z "$files" ]; then
+    echo "run_clang_tidy: no first-party files in the database" >&2
+    exit 2
+fi
+
+count=$(printf '%s\n' "$files" | wc -l)
+echo "run_clang_tidy: checking $count translation units" \
+     "(config: $repo_root/.clang-tidy)"
+
+status=0
+for f in $files; do
+    clang-tidy -p "$build_dir" --quiet "$@" "$f" || status=1
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "run_clang_tidy: clean"
+else
+    echo "run_clang_tidy: findings reported (see above)" >&2
+fi
+exit $status
