@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -51,7 +52,9 @@ usage(const char *argv0)
         "  --timeline PATH       export the run's Chrome trace-event "
         "JSON\n"
         "  --json                print the RunResult JSON instead of "
-        "tables\n",
+        "tables\n"
+        "  --bytecode            print the compiled Program disassembly\n"
+        "                        (no simulation)\n",
         argv0);
 }
 
@@ -101,6 +104,7 @@ try {
     int top = 8;
     int prefetchWindow = -1;
     bool asJson = false;
+    bool asBytecode = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -124,6 +128,8 @@ try {
             timelinePath = value();
         else if (arg == "--json")
             asJson = true;
+        else if (arg == "--bytecode")
+            asBytecode = true;
         else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -144,6 +150,15 @@ try {
     const trace::Trace tr = builtin.empty() ? trace::loadTrace(tracePath)
                                             : builtinTrace(builtin);
     const auto model = makeMachine(machine);
+
+    if (asBytecode) {
+        // Compile-only: disassemble the Program this machine would
+        // execute (composed machines print one section per chip).
+        std::ostringstream os;
+        compiler::disassemble(model->compile(tr), os);
+        std::fputs(os.str().c_str(), stdout);
+        return 0;
+    }
 
     sim::Timeline timeline;
     sim::RunOptions opts;

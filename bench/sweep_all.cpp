@@ -117,6 +117,12 @@ usage(const char *argv0)
         "                    with lint errors fails its job only\n"
         "  --compare-serial  run parallel then serial, verify identical\n"
         "                    results, report the speedup\n"
+        "  --ir              execute every job on the legacy trace-IR\n"
+        "                    interpreter instead of the bytecode engine\n"
+        "  --compare-ir      run the batch on both engines, verify\n"
+        "                    bit-identical results, report the speedup\n"
+        "  --bench-json PATH with --compare-ir: write the wall-clock\n"
+        "                    comparison as a small JSON record\n"
         "  --progress        per-job status lines on stderr\n"
         "                    (\"[jobs_done/jobs_total] <label> ...\")\n"
         "  --list            print the selected jobs and exit\n"
@@ -139,6 +145,9 @@ try {
     bool lint = false;
     bool noPaper = false;
     bool compareSerial = false;
+    bool useIr = false;
+    bool compareIr = false;
+    std::string benchJsonPath;
     bool list = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -175,6 +184,12 @@ try {
             lint = true;
         else if (arg == "--compare-serial")
             compareSerial = true;
+        else if (arg == "--ir")
+            useIr = true;
+        else if (arg == "--compare-ir")
+            compareIr = true;
+        else if (arg == "--bench-json")
+            benchJsonPath = value();
         else if (arg == "--progress")
             cfg.progress = true;
         else if (arg == "--list")
@@ -222,6 +237,13 @@ try {
     if (lint)
         for (auto &job : jobs)
             job.options.lintTraces = true;
+    if (useIr && compareIr) {
+        std::fprintf(stderr, "--ir and --compare-ir are exclusive\n");
+        return 2;
+    }
+    if (useIr)
+        for (auto &job : jobs)
+            job.options.execMode = sim::ExecMode::TraceIr;
     if (jobs.empty()) {
         std::fprintf(stderr, "no jobs selected (--no-paper without "
                              "--trace?)\n");
@@ -265,6 +287,68 @@ try {
                          batch.results[i].label.c_str(),
                          runner::jobStatusName(oc.status), oc.attempts,
                          oc.errorKind.c_str(), oc.message.c_str());
+        }
+    }
+
+    if (compareIr) {
+        // Same batch on the legacy IR interpreter; the bytecode engine
+        // must be bit-identical on every result and strictly faster in
+        // aggregate (the JIT acceptance gate).
+        auto irJobs = jobs;
+        for (auto &job : irJobs)
+            job.options.execMode = sim::ExecMode::TraceIr;
+        const double i0 = now();
+        const auto irBatch = exec.runAll(irJobs);
+        const double irWall = now() - i0;
+        const double speedup = irWall / parallelWall;
+        std::printf("trace-ir sweep: %.2f s wall (bytecode %.2fx "
+                    "faster)\n", irWall, speedup);
+
+        if (batch.results.size() != irBatch.results.size()) {
+            std::fprintf(stderr, "FAIL: result count mismatch\n");
+            return 1;
+        }
+        for (std::size_t i = 0; i < batch.results.size(); ++i) {
+            if (batch.outcomes[i].status != irBatch.outcomes[i].status) {
+                std::fprintf(stderr,
+                             "FAIL: bytecode and trace-ir job status "
+                             "differ at %s\n",
+                             batch.results[i].label.c_str());
+                return 1;
+            }
+            if (batch.outcomes[i].ok() &&
+                !identicalSimulated(batch.results[i],
+                                    irBatch.results[i])) {
+                std::fprintf(stderr,
+                             "FAIL: bytecode and trace-ir results "
+                             "differ at %s\n",
+                             batch.results[i].label.c_str());
+                return 1;
+            }
+        }
+        std::printf("bytecode results are bit-identical to trace-ir.\n");
+
+        if (!benchJsonPath.empty()) {
+            std::FILE *f = std::fopen(benchJsonPath.c_str(), "w");
+            if (!f) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             benchJsonPath.c_str());
+                return 1;
+            }
+            std::fprintf(
+                f,
+                "{\n"
+                "  \"benchmark\": \"sweep_all bytecode vs trace-ir\",\n"
+                "  \"jobs\": %zu,\n"
+                "  \"threads\": %d,\n"
+                "  \"bytecode_wall_seconds\": %.3f,\n"
+                "  \"trace_ir_wall_seconds\": %.3f,\n"
+                "  \"speedup\": %.3f,\n"
+                "  \"bit_identical\": true\n"
+                "}\n",
+                jobs.size(), threads, parallelWall, irWall, speedup);
+            std::fclose(f);
+            std::printf("wrote %s\n", benchJsonPath.c_str());
         }
     }
 

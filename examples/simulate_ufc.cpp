@@ -56,8 +56,9 @@ main()
     auto add = [&](const char *label,
                    std::shared_ptr<const sim::AcceleratorModel> model,
                    std::shared_ptr<const trace::Trace> tr) {
-        jobs.push_back(runner::Job{label, std::move(model),
-                                   std::move(tr), sim::RunOptions{}});
+        jobs.push_back(runner::Job{.label = label,
+                                   .model = std::move(model),
+                                   .trace = std::move(tr)});
     };
     add("boot/UFC", ufcm, boot);
     add("boot/SHARP", sharp, boot);

@@ -20,7 +20,9 @@
 #include <sstream>
 
 #include "analysis/verifying_sink.h"
+#include "compiler/bytecode.h"
 #include "compiler/lowering.h"
+#include "sim/ufc_perf.h"
 #include "trace/serialize.h"
 
 namespace ufc {
@@ -87,6 +89,17 @@ ruleRegistry()
          "transient buffer written but never read"},
         {"inst-phase-balance", Severity::Error,
          "unbalanced phase markers in the instruction stream"},
+        // Bytecode-level rules (compiler::verifyProgram, run over the
+        // Program that the same one-pass lowering emits).
+        {"bc-fuse-cached-operand", Severity::Error,
+         "fused run contains a Mem instruction (cached operands mutate "
+         "scratchpad state and may not be fused)"},
+        {"bc-fuse-phase-span", Severity::Error,
+         "fused run overruns the instruction stream or spans a phase "
+         "marker / loop edge"},
+        {"bc-loop-invariant", Severity::Error,
+         "folded repeat loop is degenerate, out of bounds, overlapping, "
+         "scratchpad-dependent, or contains a phase marker"},
     };
     return kRules;
 }
@@ -429,13 +442,6 @@ class WorkingSetPass : public Pass
     }
 };
 
-/** Discards the instruction stream (verify-only lowering). */
-class NullSink : public isa::InstSink
-{
-  public:
-    void issue(const isa::HwInst &) override {}
-};
-
 } // namespace
 
 Analyzer::Analyzer()
@@ -466,12 +472,18 @@ Analyzer::analyzeLowered(const Trace &tr,
     // the lowering; report the trace-level findings alone.
     if (out.errorCount() > 0)
         return out;
+    // One lowering pass serves both verification and bytecode emission:
+    // compileTrace() composes the VerifyingSink in front of its
+    // ProgramBuilder (via LoweringOptions::lint), and the emitted
+    // Program is then checked against the bytecode-level rules
+    // (bc-fuse-*).  The reference machine is the paper's Table II UFC
+    // configuration — instruction legality is machine-independent, the
+    // perf model only prices the cost terms.
     DiagnosticReport lowered;
-    NullSink devnull;
-    compiler::LoweringOptions verifyOpts = opts;
-    verifyOpts.lint = &lowered;
-    compiler::Lowering lowering(&tr, verifyOpts, &devnull);
-    lowering.run();
+    const sim::UfcPerf perf{sim::UfcConfig::tableII()};
+    const compiler::Program program =
+        compiler::compileTrace(tr, opts, perf, "UFC", &lowered);
+    compiler::verifyProgram(program, lowered);
     out.merge(lowered);
     return out;
 }

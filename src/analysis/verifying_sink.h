@@ -54,6 +54,24 @@ class VerifyingSink : public isa::InstSink
     void endPhase() override;
 
     /**
+     * Repeat offers pass through to the inner sink (refused when there
+     * is none).  Verifying the folded body once is sound: the contract
+     * requires byte-identical iterations, so per-instruction rules and
+     * the transient-dataflow checks see every distinct instruction.
+     */
+    bool
+    beginRepeat(u64 trips) override
+    {
+        return inner_ != nullptr && inner_->beginRepeat(trips);
+    }
+    void
+    endRepeat() override
+    {
+        if (inner_)
+            inner_->endRepeat();
+    }
+
+    /**
      * End-of-stream checks (unclosed phases, transient buffers produced
      * but never consumed).  Call after the lowering completes; idempotent
      * per stream.

@@ -1,0 +1,604 @@
+/**
+ * @file
+ * Bytecode compiler implementation: ProgramBuilder (an InstSink), the
+ * fusion pass, the fused-op legality verifier and the disassembler.
+ */
+
+#include "compiler/bytecode.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/diagnostic.h"
+#include "common/error.h"
+#include "sim/engine.h"
+
+namespace ufc {
+namespace compiler {
+
+const char *
+fuseKindName(FuseKind kind)
+{
+    switch (kind) {
+      case FuseKind::None: return "none";
+      case FuseKind::KeySwitch: return "key_switch";
+      case FuseKind::BlindRotate: return "blind_rotate";
+      case FuseKind::Generic: return "generic";
+    }
+    return "unknown";
+}
+
+ProgramBuilder::ProgramBuilder(const sim::MachinePerf *perf, Program *out)
+    : perf_(perf), out_(out)
+{
+    out_->hbmBytesPerCycle = perf_->hbmBytesPerCycle();
+    out_->scratchpadBytes = perf_->scratchpadBytes();
+    // Per-machine constants, hoisted out of the per-instruction path
+    // (issue() runs a few hundred thousand times per compile).
+    fillCycles_ = perf_->pipelineFillCycles();
+    hbmBpc_ = out_->hbmBytesPerCycle;
+}
+
+u32
+ProgramBuilder::slotFor(u64 id)
+{
+    const auto it = slots_.find(id);
+    if (it != slots_.end())
+        return it->second;
+    const u32 slot = static_cast<u32>(slots_.size());
+    slots_.emplace(id, slot);
+    return slot;
+}
+
+void
+ProgramBuilder::issue(const isa::HwInst &inst)
+{
+    BcInst b;
+    // Pure functions of (inst, const machine config): the values the IR
+    // engine would compute at issue time, captured once.
+    b.computeCycles = perf_->computeCycles(inst);
+    b.busyLaneCycles = b.computeCycles * perf_->laneFraction(inst);
+    b.nocCycles = perf_->nocCycles(inst);
+    b.fillCycles = fillCycles_;
+    b.op = static_cast<u8>(inst.op);
+    b.resource = static_cast<u8>(perf_->resourceFor(inst));
+
+    bool cached = false;
+    for (const auto &ref : inst.buffers) {
+        if (!ref.transient && !ref.streaming) {
+            cached = true;
+            break;
+        }
+    }
+
+    if (!cached) {
+        // No scratchpad interaction: the whole memory phase folds into
+        // two constants.  Transient refs contribute exactly nothing in
+        // the IR engine (access() returns 0, hit accounting excludes
+        // them), and the streamed-bytes sum keeps operand order, so the
+        // compile-time accumulation is bit-identical to the runtime one.
+        b.kind = BcKind::Stream;
+        double fetch = 0.0;
+        for (const auto &ref : inst.buffers)
+            if (!ref.transient)
+                fetch += static_cast<double>(ref.bytes);
+        b.staticFetchBytes = fetch;
+        // Same division the engine performs (not a multiply-by-inverse).
+        b.staticMemCycles = fetch / hbmBpc_;
+    } else {
+        b.kind = BcKind::Mem;
+        b.bufBegin = static_cast<u32>(out_->bufs.size());
+        u32 count = 0;
+        for (const auto &ref : inst.buffers) {
+            if (ref.transient)
+                continue; // provably a no-op in the IR engine
+            if (ref.streaming && ref.bytes == 0)
+                continue; // adds 0.0 everywhere: also a no-op
+            BcBuf buf;
+            buf.id = ref.id;
+            buf.bytes = static_cast<double>(ref.bytes);
+            buf.write = ref.write;
+            buf.streamed = ref.streaming;
+            if (!ref.streaming)
+                buf.slot = slotFor(ref.id);
+            out_->bufs.push_back(buf);
+            ++count;
+        }
+        UFC_EXPECT(count <= 0xffff, ConfigError,
+                   "instruction with " << count
+                       << " operand buffers exceeds the bytecode limit");
+        b.bufCount = static_cast<u16>(count);
+    }
+
+    out_->code.push_back(b);
+    out_->debug.push_back(
+        BcDebug{inst.logDegree, inst.batch, inst.words, inst.work});
+}
+
+void
+ProgramBuilder::beginPhase(const char *name)
+{
+    const std::string key(name ? name : "");
+    u32 idx;
+    const auto it = phaseNameIdx_.find(key);
+    if (it != phaseNameIdx_.end()) {
+        idx = it->second;
+    } else {
+        idx = static_cast<u32>(out_->phaseNames.size());
+        out_->phaseNames.push_back(key);
+        phaseNameIdx_.emplace(key, idx);
+    }
+    out_->phaseEvents.push_back(
+        PhaseEvent{out_->code.size(), static_cast<i32>(idx)});
+}
+
+void
+ProgramBuilder::endPhase()
+{
+    out_->phaseEvents.push_back(
+        PhaseEvent{out_->code.size(), PhaseEvent::kEnd});
+}
+
+bool
+ProgramBuilder::beginRepeat(u64 trips)
+{
+    // Nested offers are refused: the inner producer unrolls, and the
+    // outer fold (if any) still sees byte-identical iterations.
+    if (repeatOpen_ || trips < 2)
+        return false;
+    repeatOpen_ = true;
+    repeatTrips_ = trips;
+    repeatStart_ = out_->code.size();
+    repeatEvents_ = out_->phaseEvents.size();
+    return true;
+}
+
+void
+ProgramBuilder::endRepeat()
+{
+    UFC_EXPECT(repeatOpen_, ConfigError,
+               "endRepeat without a matching accepted beginRepeat");
+    UFC_EXPECT(out_->phaseEvents.size() == repeatEvents_, ConfigError,
+               "phase markers inside a folded repeat body (inst#"
+                   << repeatStart_ << "): the marker would fire once but "
+                      "the body executes " << repeatTrips_ << " times");
+    repeatOpen_ = false;
+
+    const u64 end = out_->code.size();
+    if (end == repeatStart_)
+        return; // empty body: repeating nothing is nothing
+
+    bool pure = true;
+    for (u64 i = repeatStart_; i < end; ++i) {
+        if (out_->code[i].kind != BcKind::Stream) {
+            pure = false;
+            break;
+        }
+    }
+    if (!pure) {
+        // A body with cached operands has LRU-dependent memory cost, so
+        // a structural loop would diverge from the unrolled stream.
+        // Unroll here instead: BcInst/BcDebug records are value types
+        // and copies may share the (read-only) BcBuf ranges.
+        const u64 bodyLen = end - repeatStart_;
+        for (u64 t = 1; t < repeatTrips_; ++t) {
+            for (u64 i = 0; i < bodyLen; ++i) {
+                out_->code.push_back(out_->code[repeatStart_ + i]);
+                out_->debug.push_back(out_->debug[repeatStart_ + i]);
+            }
+        }
+        return;
+    }
+
+    BcLoop lp;
+    lp.end = end;
+    lp.bodyLen = static_cast<u32>(end - repeatStart_);
+    lp.trips = repeatTrips_;
+    out_->loops.push_back(lp); // emission order keeps `loops` sorted
+}
+
+void
+ProgramBuilder::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    out_->spadSlots = static_cast<u32>(slots_.size());
+    fuse();
+}
+
+namespace {
+
+/** Innermost fusion context: "key_switch"/"blind_rotate" anywhere on the
+ *  open-phase stack wins over the generic tag. */
+FuseKind
+classifyRun(const std::vector<i32> &stack,
+            const std::vector<std::string> &names)
+{
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        const std::string &name = names[static_cast<size_t>(*it)];
+        if (name == "key_switch")
+            return FuseKind::KeySwitch;
+        if (name == "blind_rotate")
+            return FuseKind::BlindRotate;
+    }
+    return FuseKind::Generic;
+}
+
+} // namespace
+
+void
+ProgramBuilder::fuse()
+{
+    auto &code = out_->code;
+    const auto &events = out_->phaseEvents;
+
+    // boundary[i] == a phase marker fires immediately before inst i, or
+    // a folded loop starts/ends there (the executor's loop-back check
+    // fires between instructions, so a fused run must not straddle it).
+    std::vector<u8> boundary(code.size() + 1, 0);
+    for (const auto &ev : events)
+        boundary[static_cast<size_t>(ev.inst)] = 1;
+    for (const auto &lp : out_->loops) {
+        boundary[static_cast<size_t>(lp.end)] = 1;
+        boundary[static_cast<size_t>(lp.end - lp.bodyLen)] = 1;
+    }
+
+    // Replay the phase events alongside the scan so each run head knows
+    // its enclosing phase (fusion context tag).
+    std::vector<i32> stack;
+    size_t ev = 0;
+    size_t i = 0;
+    while (i < code.size()) {
+        while (ev < events.size() && events[ev].inst == i) {
+            if (events[ev].name == PhaseEvent::kEnd) {
+                if (!stack.empty())
+                    stack.pop_back();
+            } else {
+                stack.push_back(events[ev].name);
+            }
+            ++ev;
+        }
+        if (code[i].kind != BcKind::Stream) {
+            ++i;
+            continue;
+        }
+        // Maximal run of Stream insts with no interior phase marker.
+        size_t j = i + 1;
+        while (j < code.size() && code[j].kind == BcKind::Stream &&
+               !boundary[j] && (j - i) < 0xffff)
+            ++j;
+        if (j - i >= 2) {
+            code[i].runLen = static_cast<u16>(j - i);
+            code[i].fuse = classifyRun(stack, out_->phaseNames);
+            ++out_->fusedRuns;
+            out_->fusedInsts += j - i;
+        }
+        i = j; // no events strictly inside (i, j) by construction
+    }
+}
+
+namespace {
+
+/** Sizing pre-pass: counts the records the real lowering will emit so
+ *  the Program vectors can be reserved exactly — growth reallocations
+ *  (copy + fresh-page faults) otherwise dominate compile time.  Accepts
+ *  repeat folds like the builder, so folded bodies are counted once. */
+struct SizingSink final : isa::InstSink
+{
+    u64 insts = 0;
+    u64 bufs = 0;
+
+    void
+    issue(const isa::HwInst &inst) override
+    {
+        ++insts;
+        bool cached = false;
+        for (const auto &ref : inst.buffers) {
+            if (!ref.transient && !ref.streaming) {
+                cached = true;
+                break;
+            }
+        }
+        if (!cached)
+            return;
+        for (const auto &ref : inst.buffers) {
+            if (ref.transient)
+                continue;
+            if (ref.streaming && ref.bytes == 0)
+                continue;
+            ++bufs;
+        }
+    }
+    bool beginRepeat(u64) override { return true; }
+};
+
+} // namespace
+
+Program
+compileTrace(const trace::Trace &tr, const LoweringOptions &opts,
+             const sim::MachinePerf &perf, const std::string &machineName,
+             analysis::DiagnosticReport *lint)
+{
+    Program p;
+    p.workload = tr.name;
+    p.machine = machineName;
+    p.traceHash = trace::contentHash(tr);
+    {
+        // No lint and no cost model on the sizing pass; the verifying
+        // pass below sees the identical stream.  The counts are a
+        // reservation hint only — an undercount (e.g. a future builder
+        // unrolling an impure repeat the sizing sink folded) just means
+        // one vector growth, not an error.
+        SizingSink sizing;
+        LoweringOptions sopts = opts;
+        sopts.lint = nullptr;
+        Lowering presize(&tr, sopts, &sizing);
+        presize.run();
+        p.code.reserve(sizing.insts);
+        p.debug.reserve(sizing.insts);
+        p.bufs.reserve(sizing.bufs);
+    }
+    ProgramBuilder builder(&perf, &p);
+    LoweringOptions lopts = opts;
+    lopts.lint = lint;
+    Lowering lowering(&tr, lopts, &builder);
+    lowering.run();
+    builder.finish();
+    return p;
+}
+
+namespace {
+
+void
+addFinding(analysis::DiagnosticReport &out, const char *rule,
+           std::ptrdiff_t inst, const std::string &message,
+           const std::string &hint)
+{
+    analysis::Diagnostic d;
+    d.severity = analysis::Severity::Error;
+    d.rule = rule;
+    d.message = message;
+    d.hint = hint;
+    d.opIndex = inst;
+    out.add(d);
+}
+
+} // namespace
+
+void
+verifyProgram(const Program &program, analysis::DiagnosticReport &out)
+{
+    for (const auto &part : program.parts)
+        verifyProgram(part, out);
+
+    std::vector<u8> boundary(program.code.size() + 1, 0);
+    for (const auto &ev : program.phaseEvents)
+        if (ev.inst <= program.code.size())
+            boundary[static_cast<size_t>(ev.inst)] = 1;
+
+    // Folded loops: bounds, ordering, purity and phase containment.
+    u64 prevEnd = 0;
+    for (size_t li = 0; li < program.loops.size(); ++li) {
+        const BcLoop &lp = program.loops[li];
+        const std::ptrdiff_t at =
+            static_cast<std::ptrdiff_t>(lp.end) - lp.bodyLen;
+        if (lp.bodyLen == 0 || lp.trips < 2 ||
+            lp.end > program.code.size() || lp.bodyLen > lp.end) {
+            std::ostringstream os;
+            os << "loop#" << li << " (end=" << lp.end << " body="
+               << lp.bodyLen << " trips=" << lp.trips
+               << ") is degenerate or out of bounds ("
+               << program.code.size() << " instructions)";
+            addFinding(out, "bc-loop-invariant", at, os.str(),
+                       "folded repeats need a non-empty in-bounds body "
+                       "and at least two trips");
+            continue;
+        }
+        const u64 start = lp.end - lp.bodyLen;
+        if (start < prevEnd) {
+            std::ostringstream os;
+            os << "loop#" << li << " [" << start << ", " << lp.end
+               << ") overlaps or is unsorted against the previous loop "
+               << "(ends at " << prevEnd << ")";
+            addFinding(out, "bc-loop-invariant",
+                       static_cast<std::ptrdiff_t>(start), os.str(),
+                       "loops must be disjoint and sorted by end so the "
+                       "executor's single cursor replays them");
+        }
+        prevEnd = lp.end;
+        for (u64 k = start; k < lp.end; ++k) {
+            if (program.code[k].kind == BcKind::Mem) {
+                std::ostringstream os;
+                os << "loop#" << li << " [" << start << ", " << lp.end
+                   << ") body contains inst#" << k << " ("
+                   << isa::opName(
+                          static_cast<isa::HwOp>(program.code[k].op))
+                   << ") with a cached scratchpad operand";
+                addFinding(out, "bc-loop-invariant",
+                           static_cast<std::ptrdiff_t>(k), os.str(),
+                           "re-executing a scratchpad-dependent body is "
+                           "not equivalent to the unrolled stream; the "
+                           "builder must unroll such repeats");
+                break;
+            }
+        }
+        for (const auto &ev : program.phaseEvents) {
+            if (ev.inst > start && ev.inst < lp.end) {
+                std::ostringstream os;
+                os << "loop#" << li << " [" << start << ", " << lp.end
+                   << ") contains a phase marker before inst#" << ev.inst;
+                addFinding(out, "bc-loop-invariant",
+                           static_cast<std::ptrdiff_t>(ev.inst), os.str(),
+                           "a marker inside a repeated body would fire "
+                           "once but the body executes every trip");
+                break;
+            }
+        }
+        // Loop edges break fused runs exactly like phase markers.
+        if (lp.end <= program.code.size()) {
+            boundary[static_cast<size_t>(start)] = 1;
+            boundary[static_cast<size_t>(lp.end)] = 1;
+        }
+    }
+
+    for (size_t i = 0; i < program.code.size(); ++i) {
+        const BcInst &head = program.code[i];
+        if (head.runLen <= 1)
+            continue;
+        const size_t end = i + head.runLen;
+        if (end > program.code.size()) {
+            std::ostringstream os;
+            os << "fused run of " << head.runLen << " at inst#" << i
+               << " overruns the program (" << program.code.size()
+               << " instructions)";
+            addFinding(out, "bc-fuse-phase-span",
+                       static_cast<std::ptrdiff_t>(i), os.str(),
+                       "re-run the fusion pass; runs must stay in bounds");
+            continue;
+        }
+        for (size_t k = i; k < end; ++k) {
+            if (program.code[k].kind == BcKind::Mem) {
+                std::ostringstream os;
+                os << "fused run [" << i << ", " << end << ") contains "
+                   << "inst#" << k << " ("
+                   << isa::opName(static_cast<isa::HwOp>(
+                          program.code[k].op))
+                   << ") with a cached scratchpad operand";
+                addFinding(out, "bc-fuse-cached-operand",
+                           static_cast<std::ptrdiff_t>(i), os.str(),
+                           "scratchpad-dependent instructions must break "
+                           "the run (their memory cost depends on LRU "
+                           "state)");
+                break;
+            }
+        }
+        for (size_t k = i + 1; k < end; ++k) {
+            if (boundary[k]) {
+                std::ostringstream os;
+                os << "fused run [" << i << ", " << end << ") crosses a "
+                   << "phase marker or loop edge before inst#" << k;
+                addFinding(out, "bc-fuse-phase-span",
+                           static_cast<std::ptrdiff_t>(i), os.str(),
+                           "phase markers and loop edges must only fire "
+                           "at run boundaries so timeline replay and "
+                           "loop-back checks stay exact");
+                break;
+            }
+        }
+    }
+}
+
+void
+disassemble(const Program &program, std::ostream &os)
+{
+    os << "program " << program.workload << " machine="
+       << program.machine << " hash=" << std::hex << std::showbase
+       << program.traceHash << std::dec << std::noshowbase << "\n";
+    if (program.composed()) {
+        os << "  composed: pcie_bytes=" << program.pcieBytes
+           << " pcie_transfers=" << program.pcieTransfers << " parts="
+           << program.parts.size() << "\n";
+        for (const auto &part : program.parts) {
+            if (part.code.empty() && part.machine.empty()) {
+                os << "part <empty>\n";
+                continue;
+            }
+            disassemble(part, os);
+        }
+        return;
+    }
+    os << "  insts=" << program.code.size() << " bufs="
+       << program.bufs.size() << " slots=" << program.spadSlots
+       << " spad_bytes=" << program.scratchpadBytes << " hbm_Bpc="
+       << program.hbmBytesPerCycle << " fused_runs="
+       << program.fusedRuns << " fused_insts=" << program.fusedInsts
+       << " loops=" << program.loops.size() << " executed="
+       << program.totalInsts() << "\n";
+
+    size_t ev = 0;
+    const auto &events = program.phaseEvents;
+    int depth = 0;
+    const auto emitEvents = [&](size_t upTo) {
+        while (ev < events.size() && events[ev].inst == upTo) {
+            if (events[ev].name == PhaseEvent::kEnd) {
+                depth = std::max(0, depth - 1);
+                os << std::string(2 + 2 * static_cast<size_t>(depth), ' ')
+                   << "}\n";
+            } else {
+                os << std::string(2 + 2 * static_cast<size_t>(depth), ' ')
+                   << "phase "
+                   << program
+                          .phaseNames[static_cast<size_t>(events[ev].name)]
+                   << " {\n";
+                ++depth;
+            }
+            ++ev;
+        }
+    };
+
+    size_t li = 0;
+    bool inLoop = false;
+    const auto loopEdges = [&](size_t i) {
+        if (inLoop && i == program.loops[li].end) {
+            depth = std::max(0, depth - 1);
+            os << std::string(2 + 2 * static_cast<size_t>(depth), ' ')
+               << "}\n";
+            ++li;
+            inLoop = false;
+        }
+        emitEvents(i); // markers at a loop edge sit outside the body
+        if (!inLoop && li < program.loops.size() &&
+            i == program.loops[li].end - program.loops[li].bodyLen) {
+            os << std::string(2 + 2 * static_cast<size_t>(depth), ' ')
+               << "repeat " << program.loops[li].trips << "x {\n";
+            ++depth;
+            inLoop = true;
+        }
+    };
+
+    for (size_t i = 0; i < program.code.size(); ++i) {
+        loopEdges(i);
+        const BcInst &b = program.code[i];
+        const BcDebug &dbg = program.debug[i];
+        os << std::string(2 + 2 * static_cast<size_t>(depth), ' ')
+           << std::setw(5) << i << " "
+           << isa::opName(static_cast<isa::HwOp>(b.op)) << " res="
+           << isa::resourceName(static_cast<isa::Resource>(b.resource))
+           << " logN=" << dbg.logDegree << " batch=" << dbg.batch
+           << " words=" << dbg.words << " work=" << dbg.work << " c="
+           << b.computeCycles << " lane_c=" << b.busyLaneCycles
+           << " noc=" << b.nocCycles << " fill=" << b.fillCycles;
+        if (b.kind == BcKind::Stream) {
+            os << " stream_bytes=" << b.staticFetchBytes
+               << " stream_cycles=" << b.staticMemCycles;
+        } else {
+            os << " bufs=[";
+            for (u16 k = 0; k < b.bufCount; ++k) {
+                const BcBuf &buf =
+                    program.bufs[b.bufBegin + static_cast<u32>(k)];
+                if (k)
+                    os << " ";
+                if (buf.streamed)
+                    os << "~";
+                else
+                    os << "s" << buf.slot << ":";
+                os << std::hex << std::showbase << buf.id << std::dec
+                   << std::noshowbase << "/" << buf.bytes;
+                if (buf.write)
+                    os << "w";
+            }
+            os << "]";
+        }
+        if (b.runLen > 1)
+            os << " ; fused run len=" << b.runLen << " kind="
+               << fuseKindName(b.fuse);
+        os << "\n";
+    }
+    loopEdges(program.code.size());
+}
+
+} // namespace compiler
+} // namespace ufc

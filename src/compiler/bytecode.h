@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Trace-to-bytecode JIT: the compiled Program format and its builder.
+ *
+ * The cycle engine used to re-interpret the heavyweight trace IR on every
+ * run: each issue() paid four virtual cost-model calls, an operand-vector
+ * walk through an unordered_map-backed scratchpad, and a deque-based
+ * prefetch window.  A Program lowers a trace *once* into a dense array of
+ * fixed-size BcInst records with every cost-model term pre-computed and
+ * every operand buffer pre-resolved to a dense scratchpad slot, so
+ * execution (sim/bc_engine.h) is a tight dispatch loop over plain arrays
+ * — the shape riposte's TraceInst bytecode and nullc's lowering context
+ * use for the same reason.
+ *
+ * Bit-exactness contract (enforced by tests/test_bytecode.cpp): executing
+ * a Program yields a RunStats bit-identical to feeding the same lowering
+ * through the IR CycleEngine — cycles, energy inputs, per-op attribution,
+ * stall causes and timeline slices.  Everything pre-computed here is a
+ * pure function of (instruction, const machine config), evaluated with
+ * the exact expressions the IR engine would use:
+ *   - busyLaneCycles  = computeCycles * laneFraction   (same product)
+ *   - staticFetchBytes sums streamed operand bytes in operand order
+ *     (floating-point accumulation order is observable)
+ *   - staticMemCycles = staticFetchBytes / hbmBytesPerCycle
+ *     (kept as a division; multiplying by a precomputed inverse is NOT
+ *     bit-identical)
+ *   - transient refs and zero-byte streamed refs are dropped at compile
+ *     time only because they provably contribute nothing to engine state
+ *     or statistics.
+ *
+ * Fusion: maximal runs of consecutive instructions that touch no cached
+ * (scratchpad-resident) operand and do not cross a phase boundary are
+ * tagged as one macro-op at the run head (runLen > 1).  On UFC this makes
+ * each hybrid key switch (ModUp -> inner product -> ModDown: the operands
+ * stream or live on chip) and each TFHE blind-rotate body between
+ * bootstrap-key fetches a single fused unit the executor iterates without
+ * re-dispatching.  Legality is lintable: analysis rules
+ * `bc-fuse-cached-operand` and `bc-fuse-phase-span` (verifyProgram).
+ */
+
+#ifndef UFC_COMPILER_BYTECODE_H
+#define UFC_COMPILER_BYTECODE_H
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/lowering.h"
+#include "isa/inst.h"
+#include "trace/trace.h"
+
+namespace ufc {
+namespace sim {
+class MachinePerf; // sim/engine.h
+} // namespace sim
+
+namespace compiler {
+
+/** Execution class of one BcInst. */
+enum class BcKind : u8
+{
+    /// No cached operands: the memory phase is fully pre-computed
+    /// (staticFetchBytes / staticMemCycles), eligible for fusion.
+    Stream,
+    /// At least one operand goes through the scratchpad model; the
+    /// executor walks the BcBuf records in operand order.
+    Mem,
+};
+
+/** Why a fused run was formed (disassembly / lint context). */
+enum class FuseKind : u8
+{
+    None,        ///< not a run head
+    KeySwitch,   ///< inside a "key_switch" phase (ModUp/IP/ModDown)
+    BlindRotate, ///< inside a "blind_rotate" phase (PBS inner loop)
+    Generic,     ///< any other streaming run (bootstrap linear algebra...)
+};
+
+const char *fuseKindName(FuseKind kind);
+
+/** One pre-resolved operand reference (transients are compiled away). */
+struct BcBuf
+{
+    u64 id = 0;          ///< original buffer id (diagnostics only)
+    double bytes = 0.0;  ///< region size, pre-converted to double
+    u32 slot = kNoSlot;  ///< dense scratchpad slot; kNoSlot when streamed
+    bool write = false;
+    bool streamed = false;
+
+    static constexpr u32 kNoSlot = 0xffffffffu;
+};
+
+/**
+ * One bytecode instruction: every term the cycle model needs, resolved at
+ * compile time.  64 bytes, so one record per cache line.
+ */
+struct BcInst
+{
+    double computeCycles = 0.0;    ///< MachinePerf::computeCycles
+    double busyLaneCycles = 0.0;   ///< computeCycles * laneFraction
+    double nocCycles = 0.0;        ///< MachinePerf::nocCycles
+    double fillCycles = 0.0;       ///< MachinePerf::pipelineFillCycles
+    /// Stream kind: streamed operand bytes, summed in operand order.
+    double staticFetchBytes = 0.0;
+    /// Stream kind: staticFetchBytes / hbmBytesPerCycle.
+    double staticMemCycles = 0.0;
+    u32 bufBegin = 0;  ///< first BcBuf (Mem kind)
+    u16 bufCount = 0;  ///< BcBuf count (Mem kind)
+    /// Fused-run head: number of consecutive Stream instructions
+    /// (including this one) the executor may iterate without
+    /// re-dispatching; 1 everywhere else.
+    u16 runLen = 1;
+    u8 op = 0;         ///< isa::HwOp
+    u8 resource = 0;   ///< isa::Resource
+    BcKind kind = BcKind::Stream;
+    FuseKind fuse = FuseKind::None;
+};
+
+static_assert(sizeof(BcInst) == 64, "BcInst must stay one cache line");
+
+/** Side-table row for disassembly (parallel to Program::code). */
+struct BcDebug
+{
+    u32 logDegree = 0;
+    u32 batch = 1;
+    u64 words = 0;
+    u64 work = 0;
+};
+
+/**
+ * A phase marker between instructions: fires before instruction `inst`
+ * (== code.size() for end-of-stream markers).  `name` indexes
+ * Program::phaseNames; kEnd closes the innermost open phase.
+ */
+struct PhaseEvent
+{
+    u64 inst = 0;
+    i32 name = kEnd;
+
+    static constexpr i32 kEnd = -1;
+};
+
+/**
+ * A folded structural repeat: the `bodyLen` instructions ending at index
+ * `end` (exclusive — the body is code[end - bodyLen, end)) execute
+ * `trips` times back to back.  Loops come from InstSink::beginRepeat
+ * offers the builder accepted; they never nest, never overlap, and their
+ * bodies are all-Stream (no scratchpad state), so re-executing the body
+ * is observable-identical to the unrolled stream.  Sorted by `end`.
+ */
+struct BcLoop
+{
+    u64 end = 0;      ///< one past the last body instruction
+    u32 bodyLen = 0;  ///< body instruction count (>= 1)
+    u64 trips = 0;    ///< total executions of the body (>= 2)
+};
+
+/**
+ * A compiled trace: everything AcceleratorModel::execute() needs, with no
+ * references back to the Trace or the MachinePerf it came from.  Programs
+ * are immutable after compileTrace() and safe to share across threads —
+ * the runner's ProgramCache hands one instance to every job with the same
+ * (model, trace-content) key.
+ *
+ * A composed machine compiles to a Program with empty `code` and one
+ * sub-Program per chip in `parts` (plus the PCIe link traffic the
+ * partition computed); single-chip Programs have empty `parts`.
+ */
+struct Program
+{
+    std::string workload;      ///< Trace::name (stamped into RunResult)
+    std::string machine;       ///< model name the cost terms were baked for
+    u64 traceHash = 0;         ///< trace::contentHash of the source trace
+
+    // Machine constants captured from the MachinePerf.
+    double hbmBytesPerCycle = 1.0;
+    double scratchpadBytes = 0.0;
+    u32 spadSlots = 0;         ///< dense scratchpad slot count
+
+    std::vector<BcInst> code;
+    std::vector<BcBuf> bufs;
+    std::vector<BcLoop> loops;   ///< folded repeats, sorted by end
+    std::vector<PhaseEvent> phaseEvents;
+    std::vector<std::string> phaseNames; ///< owned; outlives the trace
+    std::vector<BcDebug> debug;          ///< parallel to code
+
+    // Composed-machine decomposition (see struct docs).
+    std::vector<Program> parts;
+    double pcieBytes = 0.0;
+    u64 pcieTransfers = 0;
+
+    // Fusion statistics (disassembly / bench reporting).
+    u64 fusedRuns = 0;
+    u64 fusedInsts = 0;
+
+    bool composed() const { return !parts.empty(); }
+
+    /** Instructions the executor steps, with loop bodies multiplied out
+     *  — equals the IR interpreter's instruction count. */
+    u64
+    totalInsts() const
+    {
+        u64 n = code.size();
+        for (const BcLoop &lp : loops)
+            n += static_cast<u64>(lp.bodyLen) * (lp.trips - 1);
+        return n;
+    }
+};
+
+/**
+ * InstSink that builds a Program: the bytecode emitter plugs into the
+ * same Lowering pipeline as the analysis::VerifyingSink, so `--lint`
+ * verification and JIT lowering compose in one pass over the instruction
+ * stream (LoweringOptions::lint interposes the verifier in front of this
+ * sink).  Single-use, like Lowering itself: issue everything, then call
+ * finish() exactly once to run the fusion pass.
+ */
+class ProgramBuilder : public isa::InstSink
+{
+  public:
+    /** Cost terms are baked from `perf`; both pointers must outlive the
+     *  builder.  The builder appends into `out` (normally fresh). */
+    ProgramBuilder(const sim::MachinePerf *perf, Program *out);
+
+    void issue(const isa::HwInst &inst) override;
+    void beginPhase(const char *name) override;
+    void endPhase() override;
+
+    /** Accept repeat folds: the body is compiled once and recorded as a
+     *  Program loop (all-Stream bodies only; a body that touches the
+     *  scratchpad is unrolled by re-issuing it trips-1 times, since its
+     *  memory behaviour depends on LRU state). */
+    bool beginRepeat(u64 trips) override;
+    void endRepeat() override;
+
+    /** Seal the Program: assign fused runs and the slot count. */
+    void finish();
+
+  private:
+    u32 slotFor(u64 id);
+    void fuse();
+
+    const sim::MachinePerf *perf_;
+    Program *out_;
+    // Machine constants hoisted out of issue() (see ctor).
+    double fillCycles_ = 0.0;
+    double hbmBpc_ = 1.0;
+    std::unordered_map<u64, u32> slots_;
+    std::unordered_map<std::string, u32> phaseNameIdx_;
+    // Open repeat offer (beginRepeat..endRepeat window).
+    u64 repeatTrips_ = 0;
+    u64 repeatStart_ = 0;      ///< code.size() at beginRepeat
+    u64 repeatEvents_ = 0;     ///< phaseEvents.size() at beginRepeat
+    bool repeatOpen_ = false;
+    bool finished_ = false;
+};
+
+/**
+ * Compile a trace for one machine: lower it with `opts` straight into a
+ * ProgramBuilder (verifier interposed when `lint` is non-null, exactly as
+ * in a simulation run) and return the sealed Program.  Throws the same
+ * typed errors a lowering inside run() would.
+ */
+Program compileTrace(const trace::Trace &tr, const LoweringOptions &opts,
+                     const sim::MachinePerf &perf,
+                     const std::string &machineName,
+                     analysis::DiagnosticReport *lint = nullptr);
+
+/**
+ * Check the fused-op legality invariants of a compiled Program and append
+ * violations to `out`:
+ *   bc-fuse-cached-operand  a fused run contains an instruction with a
+ *                           cached (scratchpad) operand — its memory
+ *                           behaviour depends on LRU state, so it must
+ *                           not be iterated as a streaming macro-op
+ *   bc-fuse-phase-span      a fused run crosses a phase marker or a
+ *                           loop boundary, which would mis-place
+ *                           timeline slices / repeat executions
+ *   bc-loop-invariant       a folded loop is malformed: out of bounds,
+ *                           overlapping or unsorted, trivial (trips < 2
+ *                           or empty body), containing a cached-operand
+ *                           instruction, or spanning a phase marker
+ * Programs produced by ProgramBuilder::finish() always pass; the rules
+ * guard hand-built or mutated Programs (and regressions in the fusion
+ * pass itself).
+ */
+void verifyProgram(const Program &program,
+                   analysis::DiagnosticReport &out);
+
+/** Human-readable disassembly (inspect_trace --bytecode). */
+void disassemble(const Program &program, std::ostream &os);
+
+} // namespace compiler
+} // namespace ufc
+
+#endif // UFC_COMPILER_BYTECODE_H

@@ -428,56 +428,71 @@ Lowering::tfhePbs(const TraceOp &op)
     //   decomposed columns; the full bootstrapping key is re-walked per
     //   bootstrap, which is the memory overhead Figure 15 exposes.
     const bool tvlp = opts_.parallelism == Parallelism::TvLP;
-    const int outer = tvlp ? static_cast<int>(nLwe) : groups;
-    const int inner = tvlp ? groups : static_cast<int>(nLwe);
-    sink_->beginPhase("blind_rotate");
-    for (int o = 0; o < outer; ++o) {
-        for (int in = 0; in < inner; ++in) {
-            const u32 i = static_cast<u32>(tvlp ? o : in);
-            const int g = tvlp ? in : o;
-            const int b = std::min(batch, op.count - g * batch);
 
+    // One blind-rotation iteration: decompose the accumulator, NTT the
+    // 2l digit polynomials, monomial-multiply by the X^a_i evaluation
+    // (Section IV-C3), MAC against the RGSW rows, and return to
+    // coefficient form.
+    const auto emitIter = [&](u32 i, int b, bool chargeKey) {
+        const u64 digitWords = 2ULL * l * b * wordsPerPoly;
+        emit(HwOp::Decomp, logNt_, 2 * l * b, digitWords, digitWords);
+
+        // CoLP packs the 2l columns into the wide datapath but must
+        // shuffle them into the continuous layout first (V-B).
+        if (opts_.parallelism == Parallelism::CoLP) {
+            emit(HwOp::Shuffle, logNt_, 2 * l * b, digitWords,
+                 digitWords);
+        }
+        emit(HwOp::Ntt, logNt_, 2 * l * b, digitWords,
+             digitWords * logNt_ / 2);
+        emit(HwOp::MonomialMul, logNt_, 2 * l * b, digitWords,
+             digitWords);
+
+        const u64 macWords = 4ULL * l * b * wordsPerPoly;
+        if (chargeKey) {
             // Bootstrapping keys are not seed-expanded on die (the
             // on-the-fly units target the SIMD-scheme evks/twiddles).
-            const u64 btkBytes =
-                static_cast<u64>(4.0 * l * nt_ * bytesTfhe_);
             isa::BufferRef btk;
             btk.id = kBtkBase + i;
-            btk.bytes = btkBytes;
-            // Under TvLP only the first group in an iteration touches
-            // the key buffer; the rest hit the copy already on chip.
-            const bool chargeKey = !tvlp || g == 0;
-            // One blind-rotation iteration: decompose the accumulator,
-            // NTT the 2l digit polynomials, monomial-multiply by the
-            // X^a_i evaluation (Section IV-C3), MAC against the RGSW
-            // rows, and return to coefficient form.
-            const u64 digitWords = 2ULL * l * b * wordsPerPoly;
-            emit(HwOp::Decomp, logNt_, 2 * l * b, digitWords, digitWords);
+            btk.bytes = static_cast<u64>(4.0 * l * nt_ * bytesTfhe_);
+            emit(HwOp::Ewmm, logNt_, 4 * l * b, macWords, macWords,
+                 {btk});
+        } else {
+            emit(HwOp::Ewmm, logNt_, 4 * l * b, macWords, macWords);
+        }
+        emit(HwOp::Ewma, logNt_, 4 * l * b, macWords, macWords);
 
-            // CoLP packs the 2l columns into the wide datapath but must
-            // shuffle them into the continuous layout first (V-B).
-            if (opts_.parallelism == Parallelism::CoLP) {
-                emit(HwOp::Shuffle, logNt_, 2 * l * b, digitWords,
-                     digitWords);
-            }
-            emit(HwOp::Ntt, logNt_, 2 * l * b, digitWords,
-                 digitWords * logNt_ / 2);
-            emit(HwOp::MonomialMul, logNt_, 2 * l * b, digitWords,
-                 digitWords);
+        const u64 accWords = 2ULL * b * wordsPerPoly;
+        emit(HwOp::Intt, logNt_, 2 * b, accWords,
+             accWords * logNt_ / 2);
+        emit(HwOp::Ewma, logNt_, 2 * b, accWords, accWords);
+    };
 
-            const u64 macWords = 4ULL * l * b * wordsPerPoly;
-            if (chargeKey) {
-                emit(HwOp::Ewmm, logNt_, 4 * l * b, macWords, macWords,
-                     {btk});
-            } else {
-                emit(HwOp::Ewmm, logNt_, 4 * l * b, macWords, macWords);
-            }
-            emit(HwOp::Ewma, logNt_, 4 * l * b, macWords, macWords);
-
-            const u64 accWords = 2ULL * b * wordsPerPoly;
-            emit(HwOp::Intt, logNt_, 2 * b, accWords,
-                 accWords * logNt_ / 2);
-            emit(HwOp::Ewma, logNt_, 2 * b, accWords, accWords);
+    sink_->beginPhase("blind_rotate");
+    if (tvlp && groups > 0) {
+        // Under TvLP only the first group of each iteration touches the
+        // key buffer; the remaining full groups issue byte-identical
+        // streaming-only bodies, which the sink may fold into one
+        // structural repeat (Program loops, compiler/bytecode.h)
+        // instead of receiving them unrolled.
+        const int fullGroups = op.count / batch;
+        const int ragged = op.count - fullGroups * batch;
+        for (int o = 0; o < static_cast<int>(nLwe); ++o) {
+            const u32 i = static_cast<u32>(o);
+            emitIter(i, std::min(batch, op.count), true);
+            repeat(static_cast<u64>(std::max(0, fullGroups - 1)),
+                   [&] { emitIter(i, batch, false); });
+            if (ragged > 0 && groups > 1)
+                emitIter(i, ragged, false);
+        }
+    } else if (!tvlp) {
+        // CoLP re-walks the full bootstrapping key per bootstrap (the
+        // memory overhead Figure 15 exposes), so every iteration
+        // charges a different key element and nothing folds.
+        for (int g = 0; g < groups; ++g) {
+            const int b = std::min(batch, op.count - g * batch);
+            for (int in = 0; in < static_cast<int>(nLwe); ++in)
+                emitIter(static_cast<u32>(in), b, true);
         }
     }
     sink_->endPhase();

@@ -108,6 +108,30 @@ class Lowering
     // Emission helpers.
     void emit(isa::HwOp op, u32 logDegree, u32 batch, u64 words, u64 work,
               std::vector<isa::BufferRef> buffers = {});
+
+    /**
+     * Emit `body` `trips` times.  When the sink folds repeats
+     * (InstSink::beginRepeat), the body is lowered once and the
+     * repetition is recorded structurally; otherwise every iteration is
+     * emitted.  The caller must guarantee the iterations are
+     * byte-identical: the body must not read or advance any lowering
+     * state (buffer-pool counters, phase markers) — emit() calls with
+     * fixed operands only.
+     */
+    template <typename Fn>
+    void
+    repeat(u64 trips, Fn &&body)
+    {
+        if (trips == 0)
+            return;
+        if (trips > 1 && sink_->beginRepeat(trips)) {
+            body();
+            sink_->endRepeat();
+            return;
+        }
+        for (u64 k = 0; k < trips; ++k)
+            body();
+    }
     isa::BufferRef ctBuffer(bool write);
     isa::BufferRef keyBuffer(u64 id, u64 bytes);
     isa::BufferRef plaintextBuffer(const trace::TraceOp &op, int c);

@@ -132,6 +132,31 @@ class InstSink
      */
     virtual void beginPhase(const char *name) { (void)name; }
     virtual void endPhase() {}
+
+    /**
+     * Optional repeat folding.  A producer about to emit `trips`
+     * byte-identical copies of an instruction sequence may offer the
+     * repetition to the sink instead of unrolling it: if beginRepeat()
+     * returns true, the producer emits the body exactly once followed by
+     * endRepeat(), and the stream *means* that body executed `trips`
+     * times back to back.  If it returns false (the default — sinks that
+     * consume instructions one at a time, like the IR cycle engine, need
+     * the unrolled stream), the producer must emit every iteration
+     * itself and never call endRepeat().
+     *
+     * The contract is strict so folding is observable-equivalent to
+     * unrolling: every iteration must issue identical instructions
+     * (including buffer ids and byte counts), and the body must not
+     * contain phase markers.  The bytecode ProgramBuilder accepts
+     * repeats and folds them into Program loops; decorators
+     * (analysis::VerifyingSink) forward the offer to their inner sink.
+     */
+    virtual bool beginRepeat(u64 trips)
+    {
+        (void)trips;
+        return false;
+    }
+    virtual void endRepeat() {}
 };
 
 } // namespace isa

@@ -43,6 +43,43 @@ std::mutex gProgressMutex;
 
 } // namespace
 
+std::shared_ptr<const compiler::Program>
+ProgramCache::get(const sim::AcceleratorModel &model,
+                  const trace::Trace &tr)
+{
+    const Key key{&model, trace::contentHash(tr)};
+
+    std::promise<std::shared_ptr<const compiler::Program>> promise;
+    Entry entry;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            entry = it->second;
+        } else {
+            entry = promise.get_future().share();
+            entries_.emplace(key, entry);
+            owner = true;
+        }
+    }
+
+    // First requester compiles outside the lock (so unrelated keys are
+    // not serialized behind a slow compile) and publishes the Program —
+    // or the typed error — to everyone waiting on the shared future.
+    if (owner) {
+        compiles_.fetch_add(1, std::memory_order_relaxed);
+        try {
+            promise.set_value(std::make_shared<const compiler::Program>(
+                model.compile(tr)));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return entry.get();
+}
+
 const char *
 jobStatusName(JobStatus status)
 {
@@ -114,8 +151,8 @@ ExperimentRunner::effectiveThreads(std::size_t jobs) const
 
 void
 ExperimentRunner::runOne(const Job &job, std::size_t index,
-                         sim::RunResult &result,
-                         JobOutcome &outcome) const
+                         sim::RunResult &result, JobOutcome &outcome,
+                         ProgramCache *cache) const
 {
     const int maxAttempts = 1 + (cfg_.maxRetries > 0 ? cfg_.maxRetries
                                                      : 0);
@@ -174,7 +211,14 @@ ExperimentRunner::runOne(const Job &job, std::size_t index,
                             cfg_.jobTimeoutSeconds));
 
             const auto t0 = std::chrono::steady_clock::now();
-            result = job.model->run(*tr, opts);
+            if (cache && opts.execMode == sim::ExecMode::Bytecode) {
+                // Compile-once path: sibling jobs over the same
+                // (model, trace) pair share the compiled Program.
+                const auto program = cache->get(*job.model, *tr);
+                result = job.model->execute(*program, opts);
+            } else {
+                result = job.model->run(*tr, opts);
+            }
             const auto t1 = std::chrono::steady_clock::now();
             if (cfg_.measureHostTime)
                 result.hostSeconds =
@@ -219,10 +263,37 @@ ExperimentRunner::runAll(const std::vector<Job> &jobs) const
     batch.outcomes.resize(jobs.size());
 
     std::atomic<std::size_t> jobsDone{0};
+    // Batch-scoped: the jobs' shared_ptrs keep every model alive for at
+    // least as long as the cache (see ProgramCache lifetime contract).
+    ProgramCache cache;
+
+    // A compiled Program is only worth retaining when a sibling job will
+    // reuse it.  The job list is known up front, so count the distinct
+    // (model, trace) pairs: singleton jobs take the run() shim instead,
+    // which frees their Program at job end — the allocator then recycles
+    // those already-faulted pages for the next job's compile instead of
+    // every job paying first-touch cost on fresh ones (and the batch
+    // peak RSS stays bounded by the genuinely shared programs).
+    const auto pairKey = [](const Job &job) {
+        u64 h = reinterpret_cast<std::uintptr_t>(job.model.get());
+        h ^= reinterpret_cast<std::uintptr_t>(job.trace.get()) +
+             0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        return h;
+    };
+    std::unordered_map<u64, int> pairUses;
+    for (const Job &job : jobs)
+        if (job.model && job.trace)
+            ++pairUses[pairKey(job)];
+    std::vector<char> sharedProgram(jobs.size(), 0);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        sharedProgram[i] = jobs[i].model && jobs[i].trace &&
+                           pairUses[pairKey(jobs[i])] > 1;
+
     ThreadPool pool(effectiveThreads(jobs.size()));
     pool.parallelFor(jobs.size(), [&](std::size_t i) {
         UFC_PROF_SCOPE("runner.job");
-        runOne(jobs[i], i, batch.results[i], batch.outcomes[i]);
+        runOne(jobs[i], i, batch.results[i], batch.outcomes[i],
+               sharedProgram[i] ? &cache : nullptr);
         if (cfg_.progress) {
             const std::size_t done =
                 jobsDone.fetch_add(1, std::memory_order_relaxed) + 1;

@@ -23,7 +23,10 @@
 #ifndef UFC_RUNNER_RUNNER_H
 #define UFC_RUNNER_RUNNER_H
 
+#include <atomic>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +37,75 @@
 
 namespace ufc {
 namespace runner {
+
+/**
+ * Batch-scoped cache of compiled Programs keyed on (model instance,
+ * trace content hash): a sweep that executes one trace under many
+ * RunOptions pays the model's compile() exactly once per distinct
+ * (model, trace) pair, even when the jobs land on different worker
+ * threads concurrently.
+ *
+ * Concurrency: the first requester of a key installs a shared future
+ * and compiles outside the map lock; later requesters block on that
+ * future.  A compile error is cached too and rethrown to every
+ * requester — compilation is deterministic, so retrying it cannot
+ * succeed.
+ *
+ * Lifetime: keys hold raw model pointers, so a cache must not outlive
+ * the models it has seen.  The runner builds one per batch (the jobs'
+ * shared_ptrs keep the models alive); standalone users with longer-
+ * lived models may keep one for as long as those models exist.
+ */
+class ProgramCache
+{
+  public:
+    /** The compiled Program for `tr` on `model`, compiling on first
+     *  use.  Thread-safe; throws whatever compile() threw. */
+    std::shared_ptr<const compiler::Program>
+    get(const sim::AcceleratorModel &model, const trace::Trace &tr);
+
+    /** Requests served from an already-installed entry. */
+    u64 hits() const { return hits_.load(std::memory_order_relaxed); }
+    /** compile() calls actually performed (== distinct keys seen). */
+    u64
+    compiles() const
+    {
+        return compiles_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Key
+    {
+        const sim::AcceleratorModel *model;
+        u64 traceHash;
+
+        bool
+        operator==(const Key &o) const
+        {
+            return model == o.model && traceHash == o.traceHash;
+        }
+    };
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            // Splitmix-style combine of the two 64-bit halves.
+            u64 h = reinterpret_cast<std::uintptr_t>(k.model);
+            h ^= k.traceHash + 0x9e3779b97f4a7c15ULL + (h << 6) +
+                 (h >> 2);
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    using Entry =
+        std::shared_future<std::shared_ptr<const compiler::Program>>;
+
+    std::mutex mu_;
+    std::unordered_map<Key, Entry, KeyHash> entries_;
+    std::atomic<u64> hits_{0};
+    std::atomic<u64> compiles_{0};
+};
 
 /**
  * One experiment: a trace simulated on a model under given options.
@@ -173,7 +245,8 @@ class ExperimentRunner
 
   private:
     void runOne(const Job &job, std::size_t index,
-                sim::RunResult &result, JobOutcome &outcome) const;
+                sim::RunResult &result, JobOutcome &outcome,
+                ProgramCache *cache) const;
 
     RunnerConfig cfg_;
 };

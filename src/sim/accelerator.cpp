@@ -2,16 +2,23 @@
  * @file
  * Accelerator model implementations.
  *
- * Re-entrancy audit (relied on by src/runner/): every run() builds its
- * engine, scratchpad and lowering state on the stack, the MachinePerf
- * implementations are stateless over const configs, and no function-local
- * statics exist anywhere on this path — so concurrent run() calls on the
- * same model instance are safe and bit-deterministic.
+ * Re-entrancy audit (relied on by src/runner/): every compile()/execute()
+ * /run() builds its engine, scratchpad and lowering state on the stack,
+ * the MachinePerf implementations are stateless over const configs, and
+ * no function-local statics exist anywhere on this path — so concurrent
+ * calls on the same model instance are safe and bit-deterministic.
+ *
+ * Bit-exactness: the bytecode path (compile + execute) and the legacy IR
+ * path (runTraceIr) must produce identical RunResults.  Shared helpers
+ * keep them aligned: the cost-model attach functions take a RunStats
+ * regardless of which engine produced it, and ComposedModel routes both
+ * paths through the same partition() and combine() arithmetic.
  */
 
 #include "sim/accelerator.h"
 
 #include "common/error.h"
+#include "sim/bc_engine.h"
 #include "sim/timeline.h"
 
 namespace ufc {
@@ -19,7 +26,7 @@ namespace sim {
 
 namespace {
 
-/** Run one trace through a lowering + engine pair. */
+/** Run one trace through a lowering + engine pair (legacy IR path). */
 RunStats
 lowerAndRun(const trace::Trace &tr, const compiler::LoweringOptions &opts,
             const MachinePerf &perf, const RunOptions &runOpts)
@@ -42,6 +49,39 @@ lowerAndRun(const trace::Trace &tr, const compiler::LoweringOptions &opts,
     return engine.finish();
 }
 
+/**
+ * Execute a compiled single-chip Program.  Applies RunOptions exactly as
+ * lowerAndRun() does — same validation, same window resolution, same
+ * watchdog/deadline arming, same timeline clearing — so a given options
+ * value behaves identically on either path (including the TimeoutError
+ * diagnostics, which both engines emit through sim::detail helpers).
+ */
+RunStats
+executeProgram(const compiler::Program &program,
+               const std::string &machine, const RunOptions &runOpts)
+{
+    validateRunOptions(runOpts);
+    UFC_EXPECT(!program.composed(), ConfigError,
+               "composed Program '" << program.workload
+                   << "' executed on single-chip model '" << machine
+                   << "'");
+    UFC_EXPECT(program.machine == machine, ConfigError,
+               "Program '" << program.workload << "' compiled for '"
+                   << program.machine << "' executed on '" << machine
+                   << "'");
+    const int window = runOpts.prefetchWindow >= 0
+                           ? runOpts.prefetchWindow
+                           : CycleEngine::kDefaultPrefetchWindow;
+    BytecodeEngine engine(&program, window);
+    engine.setMaxCycles(runOpts.maxCycles);
+    engine.setHostDeadline(runOpts.hostDeadline);
+    if (runOpts.timeline) {
+        runOpts.timeline->clear();
+        engine.setTimeline(runOpts.timeline);
+    }
+    return engine.run();
+}
+
 /** Fill the non-stats fields common to every model's result. */
 void
 stamp(RunResult &r, const RunOptions &opts, const std::string &machine,
@@ -53,7 +93,36 @@ stamp(RunResult &r, const RunOptions &opts, const std::string &machine,
     r.workload = workload;
 }
 
+/** Cost-model attach shared by the two baseline chips. */
+RunResult
+attachBaseline(const BaselineCost &cost, double areaMm2,
+               const RunStats &stats, const RunOptions &opts,
+               const std::string &machine, const std::string &workload)
+{
+    RunResult r;
+    stamp(r, opts, machine, workload);
+    r.stats = stats;
+    r.seconds = cost.seconds(stats);
+    r.powerW = cost.averagePowerW(stats);
+    r.energyJ = cost.energyJ(stats);
+    r.energyStaticJ = cost.staticEnergyJ(stats);
+    r.energyHbmJ = cost.hbmEnergyJ(stats);
+    r.areaMm2 = areaMm2;
+    return r;
+}
+
 } // namespace
+
+RunResult
+AcceleratorModel::run(const trace::Trace &tr, const RunOptions &opts) const
+{
+    if (opts.execMode == ExecMode::TraceIr)
+        return runTraceIr(tr, opts);
+    // Fail fast on bad options before paying for the compile; execute()
+    // re-validates for direct callers.
+    validateRunOptions(opts);
+    return execute(compile(tr), opts);
+}
 
 UfcModel::UfcModel(const UfcConfig &cfg, compiler::Parallelism par)
     : cfg_(cfg), parallelism_(par)
@@ -81,14 +150,12 @@ UfcModel::areaMm2() const
 }
 
 RunResult
-UfcModel::run(const trace::Trace &tr, const RunOptions &opts) const
+UfcModel::attach(const RunStats &stats, const RunOptions &opts,
+                 const std::string &workload) const
 {
-    UfcPerf perf(cfg_);
-    const RunStats stats = lowerAndRun(tr, loweringOptions(), perf, opts);
-
     UfcCostModel cost(cfg_);
     RunResult r;
-    stamp(r, opts, name(), tr.name);
+    stamp(r, opts, name(), workload);
     r.stats = stats;
     r.seconds = cost.seconds(stats);
     r.powerW = cost.averagePowerW(stats);
@@ -99,10 +166,33 @@ UfcModel::run(const trace::Trace &tr, const RunOptions &opts) const
     return r;
 }
 
-SharpModel::SharpModel(const baselines::SharpConfig &cfg) : cfg_(cfg) {}
+compiler::Program
+UfcModel::compile(const trace::Trace &tr) const
+{
+    UfcPerf perf(cfg_);
+    return compiler::compileTrace(tr, loweringOptions(), perf, name());
+}
 
 RunResult
-SharpModel::run(const trace::Trace &tr, const RunOptions &opts) const
+UfcModel::execute(const compiler::Program &program,
+                  const RunOptions &opts) const
+{
+    return attach(executeProgram(program, name(), opts), opts,
+                  program.workload);
+}
+
+RunResult
+UfcModel::runTraceIr(const trace::Trace &tr, const RunOptions &opts) const
+{
+    UfcPerf perf(cfg_);
+    return attach(lowerAndRun(tr, loweringOptions(), perf, opts), opts,
+                  tr.name);
+}
+
+SharpModel::SharpModel(const baselines::SharpConfig &cfg) : cfg_(cfg) {}
+
+void
+SharpModel::rejectUnsupported(const trace::Trace &tr) const
 {
     for (const auto &op : tr.ops) {
         // Ring-side scheme-switching ops (extract/repack) are CKKS-style
@@ -113,7 +203,11 @@ SharpModel::run(const trace::Trace &tr, const RunOptions &opts) const
                    "SHARP only supports SIMD-scheme (CKKS) operations; "
                    "trace '" << tr.name << "' contains TFHE ops");
     }
-    baselines::SharpPerf perf(cfg_);
+}
+
+compiler::LoweringOptions
+SharpModel::loweringOptions() const
+{
     compiler::LoweringOptions lopts;
     lopts.wordBits = cfg_.wordBits;
     lopts.totalButterflies = 1024; // pipelined NTTU width
@@ -122,33 +216,60 @@ SharpModel::run(const trace::Trace &tr, const RunOptions &opts) const
     lopts.rotateAsMonomialMul = false;
     lopts.smallPolyPacking = false;
     lopts.onTheFlyKeyGen = true;    // SHARP also generates keys on die
-    const RunStats stats = lowerAndRun(tr, lopts, perf, opts);
+    return lopts;
+}
 
-    BaselineCost cost{cfg_.areaMm2, cfg_.staticW, cfg_.peakDynamicW,
-                      30.0, cfg_.freqGHz};
-    RunResult r;
-    stamp(r, opts, name(), tr.name);
-    r.stats = stats;
-    r.seconds = cost.seconds(stats);
-    r.powerW = cost.averagePowerW(stats);
-    r.energyJ = cost.energyJ(stats);
-    r.energyStaticJ = cost.staticEnergyJ(stats);
-    r.energyHbmJ = cost.hbmEnergyJ(stats);
-    r.areaMm2 = cfg_.areaMm2;
-    return r;
+RunResult
+SharpModel::attach(const RunStats &stats, const RunOptions &opts,
+                   const std::string &workload) const
+{
+    const BaselineCost cost{cfg_.areaMm2, cfg_.staticW,
+                            cfg_.peakDynamicW, 30.0, cfg_.freqGHz};
+    return attachBaseline(cost, cfg_.areaMm2, stats, opts, name(),
+                          workload);
+}
+
+compiler::Program
+SharpModel::compile(const trace::Trace &tr) const
+{
+    rejectUnsupported(tr);
+    baselines::SharpPerf perf(cfg_);
+    return compiler::compileTrace(tr, loweringOptions(), perf, name());
+}
+
+RunResult
+SharpModel::execute(const compiler::Program &program,
+                    const RunOptions &opts) const
+{
+    return attach(executeProgram(program, name(), opts), opts,
+                  program.workload);
+}
+
+RunResult
+SharpModel::runTraceIr(const trace::Trace &tr,
+                       const RunOptions &opts) const
+{
+    rejectUnsupported(tr);
+    baselines::SharpPerf perf(cfg_);
+    return attach(lowerAndRun(tr, loweringOptions(), perf, opts), opts,
+                  tr.name);
 }
 
 StrixModel::StrixModel(const baselines::StrixConfig &cfg) : cfg_(cfg) {}
 
-RunResult
-StrixModel::run(const trace::Trace &tr, const RunOptions &opts) const
+void
+StrixModel::rejectUnsupported(const trace::Trace &tr) const
 {
     for (const auto &op : tr.ops) {
         UFC_EXPECT(op.scheme() == trace::Scheme::Tfhe, ConfigError,
                    "Strix only supports logic-scheme (TFHE) operations; "
                    "trace '" << tr.name << "' contains non-TFHE ops");
     }
-    baselines::StrixPerf perf(cfg_);
+}
+
+compiler::LoweringOptions
+StrixModel::loweringOptions() const
+{
     compiler::LoweringOptions lopts;
     lopts.wordBits = cfg_.wordBits;
     lopts.totalButterflies = cfg_.butterflies;
@@ -160,20 +281,43 @@ StrixModel::run(const trace::Trace &tr, const RunOptions &opts) const
     lopts.smallPolyPacking = true;
     lopts.parallelism = compiler::Parallelism::TvLP;
     lopts.onTheFlyKeyGen = false;
-    const RunStats stats = lowerAndRun(tr, lopts, perf, opts);
+    return lopts;
+}
 
-    BaselineCost cost{cfg_.areaMm2, cfg_.staticW, cfg_.peakDynamicW,
-                      30.0, cfg_.freqGHz};
-    RunResult r;
-    stamp(r, opts, name(), tr.name);
-    r.stats = stats;
-    r.seconds = cost.seconds(stats);
-    r.powerW = cost.averagePowerW(stats);
-    r.energyJ = cost.energyJ(stats);
-    r.energyStaticJ = cost.staticEnergyJ(stats);
-    r.energyHbmJ = cost.hbmEnergyJ(stats);
-    r.areaMm2 = cfg_.areaMm2;
-    return r;
+RunResult
+StrixModel::attach(const RunStats &stats, const RunOptions &opts,
+                   const std::string &workload) const
+{
+    const BaselineCost cost{cfg_.areaMm2, cfg_.staticW,
+                            cfg_.peakDynamicW, 30.0, cfg_.freqGHz};
+    return attachBaseline(cost, cfg_.areaMm2, stats, opts, name(),
+                          workload);
+}
+
+compiler::Program
+StrixModel::compile(const trace::Trace &tr) const
+{
+    rejectUnsupported(tr);
+    baselines::StrixPerf perf(cfg_);
+    return compiler::compileTrace(tr, loweringOptions(), perf, name());
+}
+
+RunResult
+StrixModel::execute(const compiler::Program &program,
+                    const RunOptions &opts) const
+{
+    return attach(executeProgram(program, name(), opts), opts,
+                  program.workload);
+}
+
+RunResult
+StrixModel::runTraceIr(const trace::Trace &tr,
+                       const RunOptions &opts) const
+{
+    rejectUnsupported(tr);
+    baselines::StrixPerf perf(cfg_);
+    return attach(lowerAndRun(tr, loweringOptions(), perf, opts), opts,
+                  tr.name);
 }
 
 ComposedModel::ComposedModel(const baselines::SharpConfig &sharp,
@@ -183,20 +327,20 @@ ComposedModel::ComposedModel(const baselines::SharpConfig &sharp,
       pcieLatencyUs_(pcieLatencyUs)
 {}
 
-RunResult
-ComposedModel::run(const trace::Trace &tr, const RunOptions &opts) const
+void
+ComposedModel::partition(const trace::Trace &tr, trace::Trace &ckksPart,
+                         trace::Trace &tfhePart, double &pcieBytes,
+                         u64 &pcieTransfers) const
 {
-    validateRunOptions(opts);
     // Partition the trace by scheme.  Scheme-switching ops run on the
     // SIMD chip (extraction/repacking are ring operations) but their LWE
     // payloads cross PCIe to reach the logic chip.
-    trace::Trace ckksPart = tr;
+    ckksPart = tr;
     ckksPart.ops.clear();
-    trace::Trace tfhePart = tr;
+    tfhePart = tr;
     tfhePart.ops.clear();
-
-    double pcieBytes = 0.0;
-    u64 pcieTransfers = 0;
+    pcieBytes = 0.0;
+    pcieTransfers = 0;
     for (const auto &op : tr.ops) {
         switch (op.scheme()) {
           case trace::Scheme::Ckks:
@@ -225,27 +369,19 @@ ComposedModel::run(const trace::Trace &tr, const RunOptions &opts) const
           }
         }
     }
+}
 
-    // Sub-runs inherit the engine knobs but not the label (the composed
-    // result is the one the caller asked for) and not the timeline (the
-    // two chips run in independent clock domains, so interleaving their
-    // slices on one time axis would be misleading).
-    RunOptions subOpts = opts;
-    subOpts.label.clear();
-    subOpts.timeline = nullptr;
-
-    RunResult sharpRes;
-    if (!ckksPart.ops.empty())
-        sharpRes = SharpModel(sharp_).run(ckksPart, subOpts);
-    RunResult strixRes;
-    if (!tfhePart.ops.empty())
-        strixRes = StrixModel(strix_).run(tfhePart, subOpts);
-
+RunResult
+ComposedModel::combine(const RunResult &sharpRes,
+                       const RunResult &strixRes, double pcieBytes,
+                       u64 pcieTransfers, const RunOptions &opts,
+                       const std::string &workload) const
+{
     const double pcieSeconds =
         pcieBytes / (pcieGBs_ * 1e9) + pcieTransfers * pcieLatencyUs_ * 1e-6;
 
     RunResult r;
-    stamp(r, opts, name(), tr.name);
+    stamp(r, opts, name(), workload);
     r.stats = sharpRes.stats;
     r.stats.merge(strixRes.stats);
     // The two chips pipeline independent queries/batches, so steady-state
@@ -264,6 +400,86 @@ ComposedModel::run(const trace::Trace &tr, const RunOptions &opts) const
     r.areaMm2 = areaMm2();
     r.powerW = r.seconds > 0 ? r.energyJ / r.seconds : 0.0;
     return r;
+}
+
+compiler::Program
+ComposedModel::compile(const trace::Trace &tr) const
+{
+    trace::Trace ckksPart;
+    trace::Trace tfhePart;
+    compiler::Program p;
+    p.workload = tr.name;
+    p.machine = name();
+    p.traceHash = trace::contentHash(tr);
+    partition(tr, ckksPart, tfhePart, p.pcieBytes, p.pcieTransfers);
+    // parts[0] = SHARP, parts[1] = Strix; an untouched (default) part
+    // marks a chip with no work, mirroring the IR path's skipped
+    // sub-run.
+    p.parts.resize(2);
+    if (!ckksPart.ops.empty())
+        p.parts[0] = SharpModel(sharp_).compile(ckksPart);
+    if (!tfhePart.ops.empty())
+        p.parts[1] = StrixModel(strix_).compile(tfhePart);
+    return p;
+}
+
+RunResult
+ComposedModel::execute(const compiler::Program &program,
+                       const RunOptions &opts) const
+{
+    validateRunOptions(opts);
+    UFC_EXPECT(program.machine == name() && program.parts.size() == 2,
+               ConfigError,
+               "Program '" << program.workload << "' compiled for '"
+                   << program.machine
+                   << "' executed on composed model '" << name() << "'");
+
+    // Sub-runs inherit the engine knobs but not the label (the composed
+    // result is the one the caller asked for) and not the timeline (the
+    // two chips run in independent clock domains, so interleaving their
+    // slices on one time axis would be misleading).
+    RunOptions subOpts = opts;
+    subOpts.label.clear();
+    subOpts.timeline = nullptr;
+
+    RunResult sharpRes;
+    if (!program.parts[0].machine.empty())
+        sharpRes = SharpModel(sharp_).execute(program.parts[0], subOpts);
+    RunResult strixRes;
+    if (!program.parts[1].machine.empty())
+        strixRes = StrixModel(strix_).execute(program.parts[1], subOpts);
+
+    return combine(sharpRes, strixRes, program.pcieBytes,
+                   program.pcieTransfers, opts, program.workload);
+}
+
+RunResult
+ComposedModel::runTraceIr(const trace::Trace &tr,
+                          const RunOptions &opts) const
+{
+    validateRunOptions(opts);
+    trace::Trace ckksPart;
+    trace::Trace tfhePart;
+    double pcieBytes = 0.0;
+    u64 pcieTransfers = 0;
+    partition(tr, ckksPart, tfhePart, pcieBytes, pcieTransfers);
+
+    // See execute() for why sub-runs drop the label and timeline.  The
+    // sub-calls go through run(), which dispatches on opts.execMode —
+    // TraceIr here, since runTraceIr is only reached through it.
+    RunOptions subOpts = opts;
+    subOpts.label.clear();
+    subOpts.timeline = nullptr;
+
+    RunResult sharpRes;
+    if (!ckksPart.ops.empty())
+        sharpRes = SharpModel(sharp_).run(ckksPart, subOpts);
+    RunResult strixRes;
+    if (!tfhePart.ops.empty())
+        strixRes = StrixModel(strix_).run(tfhePart, subOpts);
+
+    return combine(sharpRes, strixRes, pcieBytes, pcieTransfers, opts,
+                   tr.name);
 }
 
 } // namespace sim

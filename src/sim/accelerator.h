@@ -1,8 +1,25 @@
 /**
  * @file
  * Accelerator models: the top-level objects that take a workload trace,
- * lower it with their compiler options, run the cycle engine, and attach
- * physical units (seconds, joules, mm^2).
+ * compile it to a bytecode Program with their compiler options, execute
+ * it on the cycle engine, and attach physical units (seconds, joules,
+ * mm^2).
+ *
+ * ## Execution API (compile / execute)
+ *
+ * The primary entry points are the two-phase pair
+ *
+ *     compiler::Program p = model->compile(trace);   // once
+ *     sim::RunResult    r = model->execute(p, opts); // many times
+ *
+ * so callers that run one trace under many options (DSE sweeps, the
+ * batch runner via its ProgramCache, watchdog bisection) pay the
+ * lowering cost once.  `run(trace, opts)` remains as a convenience shim
+ * over compile+execute — kept deprecated-but-tested for the figure
+ * benches and external callers; new code should prefer the split API.
+ * With RunOptions::execMode == ExecMode::TraceIr, run() instead takes
+ * the legacy IR-interpreter path; both paths produce bit-identical
+ * results (enforced by the bytecode differential test gate).
  */
 
 #ifndef UFC_SIM_ACCELERATOR_H
@@ -12,6 +29,7 @@
 
 #include "baselines/sharp_perf.h"
 #include "baselines/strix_perf.h"
+#include "compiler/bytecode.h"
 #include "compiler/lowering.h"
 #include "sim/cost_model.h"
 #include "sim/ufc_perf.h"
@@ -22,20 +40,50 @@ namespace sim {
 /**
  * Common interface for all simulated accelerators.
  *
- * Thread safety: run() is const and re-entrant.  Every implementation
- * builds its per-run state (CycleEngine, SpadModel, compiler::Lowering)
- * on the stack and only reads its configuration, so one model instance
- * may simulate many traces concurrently — the batch experiment runner
- * (src/runner/) relies on this contract.
+ * Thread safety: compile(), execute() and run() are const and
+ * re-entrant.  Every implementation builds its per-run state
+ * (CycleEngine/BytecodeEngine, SpadModel, compiler::Lowering) on the
+ * stack and only reads its configuration, so one model instance may
+ * simulate many traces concurrently — the batch experiment runner
+ * (src/runner/) relies on this contract.  A compiled Program is
+ * immutable and may be executed by any number of threads at once.
  */
 class AcceleratorModel
 {
   public:
     virtual ~AcceleratorModel() = default;
 
-    /** Simulate a trace under the given per-run options. */
-    virtual RunResult run(const trace::Trace &tr,
-                          const RunOptions &opts) const = 0;
+    /**
+     * Lower `tr` once into an executable bytecode Program for this
+     * machine.  Throws the same typed errors (ConfigError for an
+     * unsupported scheme, TraceError from a malformed trace) the
+     * corresponding run() would.
+     */
+    virtual compiler::Program compile(const trace::Trace &tr) const = 0;
+
+    /**
+     * Execute a Program previously produced by this model's compile()
+     * under the given per-run options.  Throws ConfigError when the
+     * Program was compiled for a different machine.
+     */
+    virtual RunResult execute(const compiler::Program &program,
+                              const RunOptions &opts) const = 0;
+
+    /** Convenience overload with default options. */
+    RunResult
+    execute(const compiler::Program &program) const
+    {
+        return execute(program, RunOptions{});
+    }
+
+    /**
+     * One-shot convenience (deprecated shim): compile(tr) + execute()
+     * under the default ExecMode::Bytecode, or the legacy IR
+     * interpreter when opts.execMode == ExecMode::TraceIr.  Callers
+     * that execute a trace more than once should compile() it
+     * themselves (or go through the runner, which caches Programs).
+     */
+    RunResult run(const trace::Trace &tr, const RunOptions &opts) const;
 
     /** Convenience overload with default options. */
     RunResult run(const trace::Trace &tr) const
@@ -45,6 +93,12 @@ class AcceleratorModel
 
     virtual std::string name() const = 0;
     virtual double areaMm2() const = 0;
+
+  protected:
+    /** Legacy IR-interpreter path behind run(); bit-identical to the
+     *  bytecode path by construction and by test. */
+    virtual RunResult runTraceIr(const trace::Trace &tr,
+                                 const RunOptions &opts) const = 0;
 };
 
 /** The proposed unified accelerator. */
@@ -55,16 +109,24 @@ class UfcModel : public AcceleratorModel
                       compiler::Parallelism par =
                           compiler::Parallelism::TvLP);
 
-    using AcceleratorModel::run;
-    RunResult run(const trace::Trace &tr,
-                  const RunOptions &opts) const override;
+    compiler::Program compile(const trace::Trace &tr) const override;
+    using AcceleratorModel::execute;
+    RunResult execute(const compiler::Program &program,
+                      const RunOptions &opts) const override;
     std::string name() const override { return cfg_.name; }
     double areaMm2() const override;
 
     const UfcConfig &config() const { return cfg_; }
     compiler::LoweringOptions loweringOptions() const;
 
+  protected:
+    RunResult runTraceIr(const trace::Trace &tr,
+                         const RunOptions &opts) const override;
+
   private:
+    RunResult attach(const RunStats &stats, const RunOptions &opts,
+                     const std::string &workload) const;
+
     UfcConfig cfg_;
     compiler::Parallelism parallelism_;
 };
@@ -76,13 +138,23 @@ class SharpModel : public AcceleratorModel
     explicit SharpModel(
         const baselines::SharpConfig &cfg = baselines::SharpConfig{});
 
-    using AcceleratorModel::run;
-    RunResult run(const trace::Trace &tr,
-                  const RunOptions &opts) const override;
+    compiler::Program compile(const trace::Trace &tr) const override;
+    using AcceleratorModel::execute;
+    RunResult execute(const compiler::Program &program,
+                      const RunOptions &opts) const override;
     std::string name() const override { return "SHARP"; }
     double areaMm2() const override { return cfg_.areaMm2; }
 
+  protected:
+    RunResult runTraceIr(const trace::Trace &tr,
+                         const RunOptions &opts) const override;
+
   private:
+    void rejectUnsupported(const trace::Trace &tr) const;
+    compiler::LoweringOptions loweringOptions() const;
+    RunResult attach(const RunStats &stats, const RunOptions &opts,
+                     const std::string &workload) const;
+
     baselines::SharpConfig cfg_;
 };
 
@@ -93,20 +165,33 @@ class StrixModel : public AcceleratorModel
     explicit StrixModel(
         const baselines::StrixConfig &cfg = baselines::StrixConfig{});
 
-    using AcceleratorModel::run;
-    RunResult run(const trace::Trace &tr,
-                  const RunOptions &opts) const override;
+    compiler::Program compile(const trace::Trace &tr) const override;
+    using AcceleratorModel::execute;
+    RunResult execute(const compiler::Program &program,
+                      const RunOptions &opts) const override;
     std::string name() const override { return "Strix"; }
     double areaMm2() const override { return cfg_.areaMm2; }
 
+  protected:
+    RunResult runTraceIr(const trace::Trace &tr,
+                         const RunOptions &opts) const override;
+
   private:
+    void rejectUnsupported(const trace::Trace &tr) const;
+    compiler::LoweringOptions loweringOptions() const;
+    RunResult attach(const RunStats &stats, const RunOptions &opts,
+                     const std::string &workload) const;
+
     baselines::StrixConfig cfg_;
 };
 
 /**
  * The composed SHARP + Strix system used as the hybrid-workload baseline
  * (Section VI-D): CKKS ops dispatch to SHARP, TFHE ops to Strix, and
- * scheme-switching data crosses a PCIe 5.0 x16 link.
+ * scheme-switching data crosses a PCIe 5.0 x16 link.  compile()
+ * partitions the trace and compiles one sub-Program per chip
+ * (Program::parts); execute() runs the parts on the sub-models and
+ * combines time/energy with the PCIe link terms.
  */
 class ComposedModel : public AcceleratorModel
 {
@@ -117,16 +202,31 @@ class ComposedModel : public AcceleratorModel
                       baselines::StrixConfig{},
                   double pcieGBs = 63.0, double pcieLatencyUs = 2.0);
 
-    using AcceleratorModel::run;
-    RunResult run(const trace::Trace &tr,
-                  const RunOptions &opts) const override;
+    compiler::Program compile(const trace::Trace &tr) const override;
+    using AcceleratorModel::execute;
+    RunResult execute(const compiler::Program &program,
+                      const RunOptions &opts) const override;
     std::string name() const override { return "SHARP+Strix"; }
     double areaMm2() const override
     {
         return sharp_.areaMm2 + strix_.areaMm2;
     }
 
+  protected:
+    RunResult runTraceIr(const trace::Trace &tr,
+                         const RunOptions &opts) const override;
+
   private:
+    /** Scheme partition shared by compile() and runTraceIr() so the
+     *  PCIe accounting is computed identically on both paths. */
+    void partition(const trace::Trace &tr, trace::Trace &ckksPart,
+                   trace::Trace &tfhePart, double &pcieBytes,
+                   u64 &pcieTransfers) const;
+    RunResult combine(const RunResult &sharpRes,
+                      const RunResult &strixRes, double pcieBytes,
+                      u64 pcieTransfers, const RunOptions &opts,
+                      const std::string &workload) const;
+
     baselines::SharpConfig sharp_;
     baselines::StrixConfig strix_;
     double pcieGBs_;

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Bytecode executor: runs a compiled compiler::Program through the exact
+ * cycle model of sim/engine.h as a tight dispatch loop.
+ *
+ * The executor replicates CycleEngine::issue() arithmetic operation for
+ * operation — same expressions, same evaluation order, same divisions —
+ * over the pre-computed BcInst terms, so its RunStats (and an attached
+ * Timeline, and a TimeoutError trip) are bit-identical to the IR
+ * interpreter's.  What changes is the cost per instruction:
+ *   - no virtual cost-model calls (terms are baked into the BcInst),
+ *   - the scratchpad is a dense slot array with an intrusive LRU list
+ *     instead of unordered_map + std::list,
+ *   - the prefetch window is a flat ring buffer instead of a deque,
+ *   - fused runs (BcInst::runLen > 1) iterate Stream instructions
+ *     without re-dispatching on kind or phase events.
+ *
+ * Thread safety: like CycleEngine — one engine per run, engines on
+ * distinct threads may share one (immutable) Program.
+ */
+
+#ifndef UFC_SIM_BC_ENGINE_H
+#define UFC_SIM_BC_ENGINE_H
+
+#include <chrono>
+#include <vector>
+
+#include "compiler/bytecode.h"
+#include "sim/engine.h"
+#include "sim/stats.h"
+
+namespace ufc {
+namespace sim {
+
+class Timeline;
+
+class BytecodeEngine
+{
+  public:
+    /** `program` must outlive the engine and must be a single-chip
+     *  Program (composed Programs are decomposed by ComposedModel). */
+    BytecodeEngine(const compiler::Program *program, int prefetchWindow);
+
+    /** Same observation-only contract as CycleEngine::setTimeline. */
+    void setTimeline(Timeline *timeline) { timeline_ = timeline; }
+    /** Same semantics (and the same TimeoutError diagnostics) as
+     *  CycleEngine::setMaxCycles. */
+    void setMaxCycles(u64 cycles) { maxCycles_ = cycles; }
+    /** Same poll cadence (CycleEngine::kDeadlinePollPeriod) and the same
+     *  TimeoutError diagnostics as CycleEngine::setHostDeadline. */
+    void
+    setHostDeadline(std::chrono::steady_clock::time_point deadline)
+    {
+        hostDeadline_ = deadline;
+    }
+
+    /** Execute the whole Program and return the finished statistics
+     *  (totalCycles defined as the per-opcode sum, exactly as
+     *  CycleEngine::finish()). */
+    RunStats run();
+
+  private:
+    /// Dense-slot scratchpad entry; prev/next form an intrusive LRU
+    /// list over resident slots (head = most recent, tail = eviction
+    /// candidate), replicating SpadModel's std::list semantics.
+    struct Slot
+    {
+        double bytes = 0.0;
+        bool dirty = false;
+        bool resident = false;
+        u32 prev = kNil;
+        u32 next = kNil;
+    };
+
+    static constexpr u32 kNil = 0xffffffffu;
+
+    template <bool WithTimeline> void exec();
+    template <bool WithTimeline> void step(const compiler::BcInst &inst);
+    void applyPhaseEvent(const compiler::PhaseEvent &ev);
+
+    double spadAccess(const compiler::BcBuf &buf, double &writebackBytes);
+    void lruUnlink(u32 slot);
+    void lruPushFront(u32 slot);
+
+    const compiler::Program *program_;
+    int window_;
+    Timeline *timeline_ = nullptr;
+    u64 maxCycles_ = 0;
+    std::chrono::steady_clock::time_point hostDeadline_{};
+
+    double computeClock_ = 0.0;
+    double memClock_ = 0.0;
+
+    // Prefetch-window ring buffer mirroring CycleEngine's deque: the
+    // deque only ever reads the element `window_` from the back and
+    // trims the front beyond 4 * window_, so a fixed ring of that
+    // capacity holds every value that can still be observed.
+    std::vector<double> ring_;
+    size_t ringStart_ = 0;
+    size_t ringSize_ = 0;
+
+    // Scratchpad state.
+    std::vector<Slot> slots_;
+    u32 lruHead_ = kNil;
+    u32 lruTail_ = kNil;
+    double spadUsed_ = 0.0;
+    u64 spadEvictions_ = 0;
+
+    RunStats stats_;
+};
+
+} // namespace sim
+} // namespace ufc
+
+#endif // UFC_SIM_BC_ENGINE_H

@@ -13,6 +13,28 @@
 namespace ufc {
 namespace sim {
 
+namespace detail {
+
+void
+throwHostDeadline(u64 instCount, double simCycles)
+{
+    UFC_THROW(TimeoutError,
+              "host deadline exceeded after " << instCount
+                  << " instructions (" << simCycles
+                  << " simulated cycles)");
+}
+
+void
+throwMaxCycles(double simCycles, u64 bound, u64 instCount)
+{
+    UFC_THROW(TimeoutError,
+              "maxCycles watchdog tripped: "
+                  << simCycles << " simulated cycles > bound " << bound
+                  << " after " << instCount << " instructions");
+}
+
+} // namespace detail
+
 double
 SpadModel::access(const isa::BufferRef &ref, double &writebackBytes)
 {
@@ -81,12 +103,8 @@ CycleEngine::issue(const isa::HwInst &inst)
     // cancelled without per-issue syscall cost.
     if (hostDeadline_ != std::chrono::steady_clock::time_point{} &&
         stats_.instCount % kDeadlinePollPeriod == 0 &&
-        std::chrono::steady_clock::now() >= hostDeadline_) {
-        UFC_THROW(TimeoutError,
-                  "host deadline exceeded after "
-                      << stats_.instCount << " instructions ("
-                      << computeClock_ << " simulated cycles)");
-    }
+        std::chrono::steady_clock::now() >= hostDeadline_)
+        detail::throwHostDeadline(stats_.instCount, computeClock_);
 
     // Memory phase: fetch missing operands, schedule write-backs.
     double fetchBytes = 0.0;
@@ -128,11 +146,8 @@ CycleEngine::issue(const isa::HwInst &inst)
     // Simulated-cycle watchdog (RunOptions::maxCycles): a pathological
     // or runaway instruction stream trips here deterministically.
     if (maxCycles_ > 0 && computeClock_ > static_cast<double>(maxCycles_))
-        UFC_THROW(TimeoutError,
-                  "maxCycles watchdog tripped: "
-                      << computeClock_ << " simulated cycles > bound "
-                      << maxCycles_ << " after " << stats_.instCount + 1
-                      << " instructions");
+        detail::throwMaxCycles(computeClock_, maxCycles_,
+                               stats_.instCount + 1);
 
     if (window_ > 0) {
         recentComputeDone_.push_back(done);

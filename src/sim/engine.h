@@ -35,6 +35,21 @@ namespace sim {
 
 class Timeline;
 
+namespace detail {
+
+/**
+ * Shared watchdog/deadline trip points: the IR CycleEngine and the
+ * bytecode engine (sim/bc_engine.h) both throw through these helpers,
+ * so a trip mid-run yields a byte-identical TimeoutError message on
+ * either execution path — the differential tests compare what() of the
+ * deterministic maxCycles trip verbatim.
+ */
+[[noreturn]] void throwHostDeadline(u64 instCount, double simCycles);
+[[noreturn]] void throwMaxCycles(double simCycles, u64 bound,
+                                 u64 instCount);
+
+} // namespace detail
+
 /**
  * Machine performance model: translates a primitive instruction into
  * per-resource occupancy.  Each accelerator (UFC, SHARP, Strix) implements

@@ -65,6 +65,22 @@ enum class StatsVerbosity
 };
 
 /**
+ * Which execution engine a run() call uses.  Both paths produce
+ * bit-identical RunResults (a differential test gate enforces it); the
+ * choice only affects host-side speed and is exposed so the differential
+ * tests and `sweep_all --ir` can pin the legacy interpreter.
+ */
+enum class ExecMode
+{
+    /// Compile the trace to a bytecode Program once, then execute it on
+    /// the tight-loop engine (sim/bc_engine.h).  The default.
+    Bytecode,
+    /// Legacy path: re-interpret the trace IR through compiler::Lowering
+    /// feeding the CycleEngine directly.
+    TraceIr,
+};
+
+/**
  * Per-run options accepted by every AcceleratorModel::run() overload.
  * Thread safety: a RunOptions value is read-only during a run, so one
  * instance may be shared across concurrent runs — unless `timeline` is
@@ -73,6 +89,9 @@ enum class StatsVerbosity
  */
 struct RunOptions
 {
+    /// Execution engine selection (see ExecMode).  Applies to run();
+    /// compile()/execute() are inherently bytecode.
+    ExecMode execMode = ExecMode::Bytecode;
     /// Governs what toJson()/toCsvRow() emit for this run.
     StatsVerbosity verbosity = StatsVerbosity::Full;
     /// Prefetch-window override for the cycle engine's memory engine;

@@ -50,6 +50,67 @@ Trace::endPhase()
     phases.push_back(PhaseMark{ops.size(), std::string(), false});
 }
 
+namespace {
+
+constexpr u64 kFnvOffset = 14695981039346656037ULL;
+constexpr u64 kFnvPrime = 1099511628211ULL;
+
+void
+mix(u64 &h, u64 v)
+{
+    // Hash the full 64-bit value byte-wise so ids above 2^32 (the
+    // compiler's buffer namespaces) contribute every bit.
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+}
+
+void
+mix(u64 &h, const std::string &s)
+{
+    mix(h, static_cast<u64>(s.size()));
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+    }
+}
+
+} // namespace
+
+u64
+contentHash(const Trace &tr)
+{
+    u64 h = kFnvOffset;
+    mix(h, tr.name);
+    mix(h, tr.ckksRingDim);
+    mix(h, static_cast<u64>(tr.ckksLevels));
+    mix(h, static_cast<u64>(tr.ckksSpecial));
+    mix(h, static_cast<u64>(tr.ckksDnum));
+    mix(h, static_cast<u64>(tr.ckksLimbBits));
+    mix(h, tr.tfheRingDim);
+    mix(h, static_cast<u64>(tr.tfheLweDim));
+    mix(h, static_cast<u64>(tr.tfheGadgetLevels));
+    mix(h, static_cast<u64>(tr.tfheKsLevels));
+    mix(h, static_cast<u64>(tr.tfheLimbBits));
+    mix(h, static_cast<u64>(tr.liveCiphertexts));
+    mix(h, static_cast<u64>(tr.ops.size()));
+    for (const auto &op : tr.ops) {
+        mix(h, static_cast<u64>(op.kind));
+        mix(h, static_cast<u64>(op.limbs));
+        mix(h, static_cast<u64>(op.count));
+        mix(h, static_cast<u64>(op.fanIn));
+        mix(h, static_cast<u64>(op.keyId));
+    }
+    mix(h, static_cast<u64>(tr.phases.size()));
+    for (const auto &mark : tr.phases) {
+        mix(h, mark.opIndex);
+        mix(h, mark.name);
+        mix(h, static_cast<u64>(mark.begin ? 1 : 0));
+    }
+    return h;
+}
+
 u64
 Trace::totalOps() const
 {
