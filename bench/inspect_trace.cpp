@@ -19,6 +19,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -147,9 +148,25 @@ try {
         return 2;
     }
 
+    const auto model = makeMachine(machine);
+
+    if (asBytecode && !tracePath.empty()) {
+        // Compile-only, straight off the file through the streaming
+        // reader (bounded memory; malformed files exit through the
+        // one-line diagnosis below like every other trace error).  The
+        // disassembly header lists each phase segment's content hash
+        // and default cache key.
+        std::ifstream is(tracePath);
+        UFC_EXPECT(is.good(), TraceError,
+                   "cannot open trace file " << tracePath);
+        std::ostringstream os;
+        compiler::disassemble(model->compileStream(is), os);
+        std::fputs(os.str().c_str(), stdout);
+        return 0;
+    }
+
     const trace::Trace tr = builtin.empty() ? trace::loadTrace(tracePath)
                                             : builtinTrace(builtin);
-    const auto model = makeMachine(machine);
 
     if (asBytecode) {
         // Compile-only: disassemble the Program this machine would

@@ -7,16 +7,77 @@
 #include "compiler/bytecode.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <deque>
 #include <iomanip>
+#include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "analysis/diagnostic.h"
 #include "common/error.h"
 #include "sim/engine.h"
+#include "trace/serialize.h"
 
 namespace ufc {
 namespace compiler {
+
+namespace {
+
+std::atomic<u64> gLivePrograms{0};
+std::atomic<u64> gPeakLivePrograms{0};
+
+} // namespace
+
+void
+detail::LiveCounter::bump() noexcept
+{
+    const u64 live =
+        gLivePrograms.fetch_add(1, std::memory_order_relaxed) + 1;
+    u64 peak = gPeakLivePrograms.load(std::memory_order_relaxed);
+    while (peak < live &&
+           !gPeakLivePrograms.compare_exchange_weak(
+               peak, live, std::memory_order_relaxed)) {
+    }
+}
+
+detail::LiveCounter::~LiveCounter()
+{
+    gLivePrograms.fetch_sub(1, std::memory_order_relaxed);
+}
+
+u64
+livePrograms()
+{
+    return gLivePrograms.load(std::memory_order_relaxed);
+}
+
+u64
+peakLivePrograms()
+{
+    return gPeakLivePrograms.load(std::memory_order_relaxed);
+}
+
+void
+resetPeakLivePrograms()
+{
+    gPeakLivePrograms.store(gLivePrograms.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+}
+
+u64
+phaseCacheKeyBase(u64 segContentHash, int prefetchWindow, u64 maxCycles)
+{
+    u64 h = trace::detail::kFnvOffset;
+    trace::detail::mix64(h, segContentHash);
+    trace::detail::mix64(
+        h, static_cast<u64>(static_cast<i64>(prefetchWindow)));
+    trace::detail::mix64(h, maxCycles);
+    return h;
+}
 
 const char *
 fuseKindName(FuseKind kind)
@@ -199,6 +260,99 @@ ProgramBuilder::endRepeat()
     out_->loops.push_back(lp); // emission order keeps `loops` sorted
 }
 
+/**
+ * Digest of everything that determines how code[begin, end) executes on
+ * this Program's machine: the pre-computed cost terms, the packed flag
+ * fields, Mem operand records (slot/bytes/flags — buffer ids are
+ * diagnostics only and deliberately excluded), and the loop rows inside
+ * the segment with `end` re-based to the segment so position in the
+ * program does not matter.  Doubles are hashed by bit pattern; BcInst is
+ * never hashed as raw memory (it has tail padding).
+ */
+u64
+segmentContentHash(const Program &p, u64 begin, u64 end)
+{
+    using trace::detail::mix64;
+    const auto bits = [](double v) { return std::bit_cast<u64>(v); };
+    u64 h = trace::detail::kFnvOffset;
+    mix64(h, bits(p.hbmBytesPerCycle));
+    mix64(h, bits(p.scratchpadBytes));
+    mix64(h, static_cast<u64>(p.spadSlots));
+    mix64(h, end - begin);
+    for (u64 i = begin; i < end; ++i) {
+        const BcInst &b = p.code[static_cast<size_t>(i)];
+        // Fold the instruction's fields into one word with position-
+        // distinguishing rotations, then apply a single strong mix:
+        // this runs for every instruction of every phase region on
+        // every compile, and per-field mixing tripled compile time.
+        u64 acc = bits(b.computeCycles);
+        acc = std::rotl(acc, 9) ^ bits(b.busyLaneCycles);
+        acc = std::rotl(acc, 9) ^ bits(b.nocCycles);
+        acc = std::rotl(acc, 9) ^ bits(b.fillCycles);
+        acc = std::rotl(acc, 9) ^ bits(b.staticFetchBytes);
+        acc = std::rotl(acc, 9) ^ bits(b.staticMemCycles);
+        acc = std::rotl(acc, 9) ^ ((static_cast<u64>(b.runLen) << 24) |
+                                   (static_cast<u64>(b.op) << 16) |
+                                   (static_cast<u64>(b.resource) << 8) |
+                                   (static_cast<u64>(b.kind) << 4) |
+                                   static_cast<u64>(b.fuse));
+        mix64(h, acc);
+        if (b.kind == BcKind::Mem) {
+            mix64(h, static_cast<u64>(b.bufCount));
+            for (u16 k = 0; k < b.bufCount; ++k) {
+                const BcBuf &buf =
+                    p.bufs[b.bufBegin + static_cast<u32>(k)];
+                u64 ba = bits(buf.bytes);
+                ba = std::rotl(ba, 9) ^ static_cast<u64>(buf.slot);
+                ba = std::rotl(ba, 9) ^ ((buf.write ? 2u : 0u) |
+                                         (buf.streamed ? 1u : 0u));
+                mix64(h, ba);
+            }
+        }
+    }
+    for (const BcLoop &lp : p.loops) {
+        const u64 start = lp.end - lp.bodyLen;
+        // Loops never straddle phase markers (bc-loop-invariant), so a
+        // loop is either fully inside the segment or fully outside.
+        if (start >= begin && lp.end <= end) {
+            mix64(h, lp.end - begin);
+            mix64(h, static_cast<u64>(lp.bodyLen));
+            mix64(h, lp.trips);
+        }
+    }
+    return h;
+}
+
+namespace {
+
+/** Record the top-level phase regions worth memoizing (PhaseSegment).
+ *  Bounds only — content digests are computed on demand by the engine
+ *  (segmentContentHash), so compiling never pays for hashing. */
+void
+computeSegments(Program &p)
+{
+    int depth = 0;
+    u64 openInst = 0;
+    i32 openName = PhaseEvent::kEnd;
+    for (const auto &ev : p.phaseEvents) {
+        if (ev.name == PhaseEvent::kEnd) {
+            if (depth > 0 && --depth == 0 && ev.inst > openInst &&
+                ev.inst - openInst >= kMinSegmentInsts) {
+                p.segments.push_back(
+                    PhaseSegment{openInst, ev.inst, openName});
+            }
+        } else {
+            if (depth == 0) {
+                openInst = ev.inst;
+                openName = ev.name;
+            }
+            ++depth;
+        }
+    }
+}
+
+} // namespace
+
 void
 ProgramBuilder::finish()
 {
@@ -207,6 +361,7 @@ ProgramBuilder::finish()
     finished_ = true;
     out_->spadSlots = static_cast<u32>(slots_.size());
     fuse();
+    computeSegments(*out_);
 }
 
 namespace {
@@ -347,6 +502,169 @@ compileTrace(const trace::Trace &tr, const LoweringOptions &opts,
     Lowering lowering(&tr, lopts, &builder);
     lowering.run();
     builder.finish();
+    return p;
+}
+
+namespace {
+
+/**
+ * TraceSink chaining TraceReader -> Lowering -> ProgramBuilder: each
+ * validated op lowers as soon as its line parses, so memory held is the
+ * reader's partial line plus the marker queue — never the op vector.
+ * Enforces the chunk-protocol restrictions documented on
+ * compileTraceStream (header first, markers before their ops).
+ */
+class StreamingCompileSink final : public trace::TraceSink
+{
+  public:
+    StreamingCompileSink(Program *out, const LoweringOptions &opts,
+                         const sim::MachinePerf &perf,
+                         const StreamOpCheck &opCheck)
+        : out_(out), opts_(opts), builder_(&perf, out),
+          opCheck_(opCheck)
+    {
+    }
+
+    void
+    onHeader(const trace::Trace &header) override
+    {
+        UFC_EXPECT(!lowering_, TraceError,
+                   "streamed trace '"
+                       << header_.name
+                       << "': header line after op/phase lines (the "
+                          "streaming compiler derives lowering geometry "
+                          "from the header before the first op; "
+                          "re-serialize with writeTrace)");
+        header_ = header;
+    }
+
+    void
+    onPhase(const trace::PhaseMark &mark) override
+    {
+        hasher_.phase(mark);
+        ensureLowering();
+        UFC_EXPECT(mark.opIndex >= opIdx_, TraceError,
+                   "streamed trace '"
+                       << header_.name << "': phase marker for op "
+                       << mark.opIndex << " arrived after op "
+                       << (opIdx_ - 1)
+                       << " was already compiled (markers must precede "
+                          "their ops in a streamed trace)");
+        pending_.push_back(mark);
+    }
+
+    void
+    onOp(const trace::TraceOp &op) override
+    {
+        hasher_.op(op);
+        if (opCheck_)
+            opCheck_(header_, op);
+        ensureLowering();
+        while (!pending_.empty() && pending_.front().opIndex <= opIdx_) {
+            lowering_->streamMark(pending_.front());
+            pending_.pop_front();
+        }
+        lowering_->streamOp(op);
+        ++opIdx_;
+    }
+
+    void
+    onEnd(const trace::Trace &header) override
+    {
+        // A header line after the last op refires onHeader only at the
+        // next op/phase event, so catch the tail case here: geometry
+        // already fed the lowering and must not change silently.
+        if (lowering_) {
+            UFC_EXPECT(sameHeader(header, header_), TraceError,
+                       "streamed trace '"
+                           << header_.name
+                           << "': header line after op/phase lines (the "
+                              "streaming compiler derives lowering "
+                              "geometry from the header before the first "
+                              "op; re-serialize with writeTrace)");
+        } else {
+            header_ = header;
+        }
+        ensureLowering();
+        while (!pending_.empty()) {
+            lowering_->streamMark(pending_.front());
+            pending_.pop_front();
+        }
+        lowering_->finishStream();
+        builder_.finish();
+        out_->workload = header_.name;
+        hasher_.header(header_);
+        out_->traceHash = hasher_.finish();
+    }
+
+  private:
+    static bool
+    sameHeader(const trace::Trace &a, const trace::Trace &b)
+    {
+        return a.name == b.name && a.ckksRingDim == b.ckksRingDim &&
+               a.ckksLevels == b.ckksLevels &&
+               a.ckksSpecial == b.ckksSpecial &&
+               a.ckksDnum == b.ckksDnum &&
+               a.ckksLimbBits == b.ckksLimbBits &&
+               a.tfheRingDim == b.tfheRingDim &&
+               a.tfheLweDim == b.tfheLweDim &&
+               a.tfheGadgetLevels == b.tfheGadgetLevels &&
+               a.tfheKsLevels == b.tfheKsLevels &&
+               a.tfheLimbBits == b.tfheLimbBits &&
+               a.liveCiphertexts == b.liveCiphertexts;
+    }
+
+    void
+    ensureLowering()
+    {
+        if (lowering_)
+            return;
+        // header_ is a stable member: the Lowering keeps the pointer for
+        // its whole life (it reads liveCiphertexts per ctBuffer call).
+        lowering_.emplace(&header_, opts_, &builder_);
+    }
+
+    Program *out_;
+    LoweringOptions opts_;
+    ProgramBuilder builder_;
+    StreamOpCheck opCheck_;
+    trace::Trace header_; ///< header fields only (ops/phases empty)
+    trace::ContentHasher hasher_;
+    std::optional<Lowering> lowering_;
+    std::deque<trace::PhaseMark> pending_; ///< marks not yet fired
+    u64 opIdx_ = 0;                        ///< ops lowered so far
+};
+
+} // namespace
+
+Program
+compileTraceStream(std::istream &is, const LoweringOptions &opts,
+                   const sim::MachinePerf &perf,
+                   const std::string &machineName,
+                   analysis::DiagnosticReport *lint,
+                   const StreamOpCheck &opCheck, std::size_t chunkBytes,
+                   std::size_t *peakBufferedBytes)
+{
+    UFC_EXPECT(chunkBytes > 0, ConfigError,
+               "compileTraceStream: chunkBytes must be positive");
+    Program p;
+    p.machine = machineName;
+    LoweringOptions lopts = opts;
+    lopts.lint = lint;
+    StreamingCompileSink sink(&p, lopts, perf, opCheck);
+    trace::TraceReader reader(&sink);
+    std::vector<char> chunk(chunkBytes);
+    while (!reader.done() && is) {
+        is.read(chunk.data(),
+                static_cast<std::streamsize>(chunk.size()));
+        const auto got = static_cast<std::size_t>(is.gcount());
+        if (got == 0)
+            break;
+        reader.feed(chunk.data(), got);
+    }
+    reader.finish();
+    if (peakBufferedBytes)
+        *peakBufferedBytes = reader.peakBufferedBytes();
     return p;
 }
 
@@ -517,6 +835,33 @@ disassemble(const Program &program, std::ostream &os)
        << program.fusedRuns << " fused_insts=" << program.fusedInsts
        << " loops=" << program.loops.size() << " executed="
        << program.totalInsts() << "\n";
+    if (!program.segments.empty()) {
+        // Phase-cache debuggability: the content digest of each
+        // memoizable region plus the cache-key base at the default run
+        // parameters (prefetchWindow=kDefaultPrefetchWindow, no
+        // maxCycles watchdog); the engine folds its entry state on top.
+        os << "  segments=" << program.segments.size()
+           << " (phase cache; key base at window="
+           << sim::CycleEngine::kDefaultPrefetchWindow
+           << " maxCycles=0)\n";
+        for (size_t s = 0; s < program.segments.size(); ++s) {
+            const PhaseSegment &seg = program.segments[s];
+            const char *name =
+                seg.name >= 0
+                    ? program.phaseNames[static_cast<size_t>(seg.name)]
+                          .c_str()
+                    : "?";
+            const u64 digest =
+                segmentContentHash(program, seg.begin, seg.end);
+            os << "    seg#" << s << " phase=" << name << " ["
+               << seg.begin << ", " << seg.end << ") phase_hash="
+               << std::hex << std::showbase << digest << " cache_key="
+               << phaseCacheKeyBase(
+                      digest, sim::CycleEngine::kDefaultPrefetchWindow,
+                      0)
+               << std::dec << std::noshowbase << "\n";
+        }
+    }
 
     size_t ev = 0;
     const auto &events = program.phaseEvents;

@@ -41,6 +41,8 @@
 #ifndef UFC_COMPILER_BYTECODE_H
 #define UFC_COMPILER_BYTECODE_H
 
+#include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <unordered_map>
@@ -157,6 +159,82 @@ struct BcLoop
 };
 
 /**
+ * A memoizable phase region: instructions [begin, end) of Program::code
+ * form one top-level phase whose boundaries never sit inside a fused run
+ * or a folded loop (fusion and folding both break at phase markers).
+ * Only regions of at least kMinSegmentInsts instructions are recorded,
+ * bounding the per-segment snapshot overhead to a small fraction of the
+ * execution they can save.  Sorted by begin; disjoint.
+ *
+ * Segments carry no content digest: hashing every recorded region on
+ * every compile taxed runs that never arm a phase cache.  The engine
+ * (and the disassembler) compute segmentContentHash() on demand instead,
+ * so uncached runs pay nothing for the segment table.
+ */
+struct PhaseSegment
+{
+    u64 begin = 0; ///< first instruction of the region
+    u64 end = 0;   ///< one past the last instruction
+    i32 name = -1; ///< Program::phaseNames index of the region
+};
+
+/** Smallest phase region worth memoizing (see PhaseSegment). */
+inline constexpr u64 kMinSegmentInsts = 512;
+
+struct Program;
+
+/**
+ * FNV-1a digest of everything that determines how code[begin, end)
+ * executes on this Program's machine — the per-instruction cost terms,
+ * operand records (slot/bytes/flags; buffer ids are diagnostics and
+ * excluded), loop rows relative to the segment, and the machine
+ * constants — so equal hashes mean replaying one region's exit state for
+ * the other is exact *provided the engine entry states also match*; the
+ * phase cache (sim/phase_cache.h) keys on both.  Computed lazily: the
+ * engine hashes a Program's segments once per run, and only when a cache
+ * is armed.
+ */
+u64 segmentContentHash(const Program &p, u64 begin, u64 end);
+
+/**
+ * First component of a phase-cache key: the segment content digest
+ * combined with the run parameters that change execution (prefetch
+ * window, maxCycles watchdog).  The engine folds its entry state on top
+ * of this; the disassembler prints it so cache behaviour is debuggable.
+ */
+u64 phaseCacheKeyBase(u64 segContentHash, int prefetchWindow,
+                      u64 maxCycles);
+
+namespace detail {
+
+/**
+ * Empty tag member counting live Program instances (process-wide).
+ * Tests assert the runner's single-use eviction actually releases
+ * compiled programs instead of retaining them for the whole batch.
+ */
+struct LiveCounter
+{
+    LiveCounter() noexcept { bump(); }
+    LiveCounter(const LiveCounter &) noexcept { bump(); }
+    LiveCounter(LiveCounter &&) noexcept { bump(); }
+    LiveCounter &operator=(const LiveCounter &) noexcept = default;
+    LiveCounter &operator=(LiveCounter &&) noexcept = default;
+    ~LiveCounter();
+
+  private:
+    static void bump() noexcept;
+};
+
+} // namespace detail
+
+/** Live Program instances right now (parts count individually). */
+u64 livePrograms();
+/** High-water mark of livePrograms() since the last reset. */
+u64 peakLivePrograms();
+/** Reset the peak to the current live count. */
+void resetPeakLivePrograms();
+
+/**
  * A compiled trace: everything AcceleratorModel::execute() needs, with no
  * references back to the Trace or the MachinePerf it came from.  Programs
  * are immutable after compileTrace() and safe to share across threads —
@@ -184,6 +262,7 @@ struct Program
     std::vector<PhaseEvent> phaseEvents;
     std::vector<std::string> phaseNames; ///< owned; outlives the trace
     std::vector<BcDebug> debug;          ///< parallel to code
+    std::vector<PhaseSegment> segments;  ///< memoizable phase regions
 
     // Composed-machine decomposition (see struct docs).
     std::vector<Program> parts;
@@ -195,6 +274,9 @@ struct Program
     u64 fusedInsts = 0;
 
     bool composed() const { return !parts.empty(); }
+
+    /// Instance accounting (see livePrograms()); stateless otherwise.
+    detail::LiveCounter liveCounter;
 
     /** Instructions the executor steps, with loop bodies multiplied out
      *  — equals the IR interpreter's instruction count. */
@@ -266,6 +348,39 @@ Program compileTrace(const trace::Trace &tr, const LoweringOptions &opts,
                      const sim::MachinePerf &perf,
                      const std::string &machineName,
                      analysis::DiagnosticReport *lint = nullptr);
+
+/** Per-op admission hook for compileTraceStream (models that support a
+ *  single scheme reject foreign ops here, with the same typed errors
+ *  their whole-trace path throws).  Called before the op is lowered;
+ *  `header` carries the trace parameters and name for diagnostics. */
+using StreamOpCheck = std::function<void(const trace::Trace &header,
+                                         const trace::TraceOp &op)>;
+
+/**
+ * Compile a trace straight from its text stream in bounded memory: a
+ * trace::TraceReader feeds each validated op/mark into the Lowering as
+ * it parses, so the full op vector is never materialized — traces larger
+ * than memory flow through.  The resulting Program is identical to
+ * compileTrace(readTrace(is), ...) for any stream writeTrace() produces.
+ *
+ * Chunk-protocol restrictions beyond the whole-file format (both throw
+ * TraceError; writeTrace's canonical layout — header, then all phase
+ * lines, then ops — never trips them):
+ *   - header lines must precede the first op/phase line, since lowering
+ *     geometry is derived from the header before the first op;
+ *   - a phase marker for op i must arrive before op i's line (the
+ *     lowering cannot retroactively open a region).
+ *
+ * `peakBufferedBytes`, when non-null, receives the reader's buffer
+ * high-water mark (one partial line) so callers can assert boundedness.
+ */
+Program compileTraceStream(std::istream &is, const LoweringOptions &opts,
+                           const sim::MachinePerf &perf,
+                           const std::string &machineName,
+                           analysis::DiagnosticReport *lint = nullptr,
+                           const StreamOpCheck &opCheck = {},
+                           std::size_t chunkBytes = std::size_t(64) << 10,
+                           std::size_t *peakBufferedBytes = nullptr);
 
 /**
  * Check the fused-op legality invariants of a compiled Program and append

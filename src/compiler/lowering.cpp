@@ -60,23 +60,35 @@ Lowering::run()
     const auto &marks = trace_->phases;
     size_t next = 0;
     for (size_t i = 0; i < trace_->ops.size(); ++i) {
-        while (next < marks.size() && marks[next].opIndex <= i) {
-            if (marks[next].begin)
-                sink_->beginPhase(marks[next].name.c_str());
-            else
-                sink_->endPhase();
-            ++next;
-        }
-        sink_->beginPhase(trace::opKindName(trace_->ops[i].kind));
-        lowerOp(trace_->ops[i]);
+        while (next < marks.size() && marks[next].opIndex <= i)
+            streamMark(marks[next++]);
+        streamOp(trace_->ops[i]);
+    }
+    for (; next < marks.size(); ++next)
+        streamMark(marks[next]);
+    finishStream();
+}
+
+void
+Lowering::streamMark(const trace::PhaseMark &mark)
+{
+    if (mark.begin)
+        sink_->beginPhase(mark.name.c_str());
+    else
         sink_->endPhase();
-    }
-    for (; next < marks.size(); ++next) {
-        if (marks[next].begin)
-            sink_->beginPhase(marks[next].name.c_str());
-        else
-            sink_->endPhase();
-    }
+}
+
+void
+Lowering::streamOp(const trace::TraceOp &op)
+{
+    sink_->beginPhase(trace::opKindName(op.kind));
+    lowerOp(op);
+    sink_->endPhase();
+}
+
+void
+Lowering::finishStream()
+{
     if (verifier_)
         verifier_->finish();
 }

@@ -85,6 +85,20 @@ class Lowering
      *  run the verifier's end-of-stream checks). */
     void run();
 
+    // Streaming entry points: run() is the batch form of these three.
+    // A chunked trace reader delivers each event as it validates; the
+    // caller is responsible for the whole-trace ordering contract (a
+    // mark at opIndex i is streamed before op i).  The Trace passed to
+    // the constructor may be header-only (empty ops/phases): the
+    // lowering reads only the parameter header and liveCiphertexts.
+
+    /** Forward one workload region marker to the sink. */
+    void streamMark(const trace::PhaseMark &mark);
+    /** Lower the next op, bracketed in its mnemonic phase. */
+    void streamOp(const trace::TraceOp &op);
+    /** End of stream: run the verifier's end-of-stream checks. */
+    void finishStream();
+
     /** Lower a single op (used recursively, e.g. repacking). */
     void lowerOp(const trace::TraceOp &op);
 

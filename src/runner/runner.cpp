@@ -202,6 +202,12 @@ ExperimentRunner::runOne(const Job &job, std::size_t index,
             sim::RunOptions opts = job.options;
             if (opts.label.empty())
                 opts.label = label;
+            // The batch-shared phase cache applies to bytecode execution
+            // only; the IR interpreter has no segment table.  (A job
+            // deadline still disables it inside the engine.)
+            if (cfg_.phaseCache &&
+                opts.execMode == sim::ExecMode::Bytecode)
+                opts.phaseCache = cfg_.phaseCache;
             if (cfg_.jobTimeoutSeconds > 0.0)
                 opts.hostDeadline =
                     std::chrono::steady_clock::now() +

@@ -155,6 +155,12 @@ struct RunnerConfig
     /// top of every job attempt; an injected fault follows the normal
     /// failure/retry path.  Not owned.
     const FaultInjector *faults = nullptr;
+    /// Optional caller-owned phase-result cache (sim/phase_cache.h)
+    /// shared by every bytecode job in the batch — content-identical
+    /// phases entered in the same engine state replay instead of
+    /// re-simulating, bit-identically.  The caller reads hit/miss
+    /// counters off the cache after the batch.  IR-mode jobs ignore it.
+    sim::PhaseCache *phaseCache = nullptr;
 };
 
 /** Terminal state of one job within a batch. */

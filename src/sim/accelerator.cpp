@@ -75,6 +75,7 @@ executeProgram(const compiler::Program &program,
     BytecodeEngine engine(&program, window);
     engine.setMaxCycles(runOpts.maxCycles);
     engine.setHostDeadline(runOpts.hostDeadline);
+    engine.setPhaseCache(runOpts.phaseCache);
     if (runOpts.timeline) {
         runOpts.timeline->clear();
         engine.setTimeline(runOpts.timeline);
@@ -124,6 +125,18 @@ AcceleratorModel::run(const trace::Trace &tr, const RunOptions &opts) const
     return execute(compile(tr), opts);
 }
 
+compiler::Program
+AcceleratorModel::compileStream(std::istream &is,
+                                std::size_t chunkBytes) const
+{
+    // Whole-trace fallback for models that need a global view
+    // (ComposedModel's scheme partition).  The shim readTrace() already
+    // reads in chunks; the caller's chunkBytes only bounds streaming
+    // overrides, so it is unused here.
+    (void)chunkBytes;
+    return compile(trace::readTrace(is));
+}
+
 UfcModel::UfcModel(const UfcConfig &cfg, compiler::Parallelism par)
     : cfg_(cfg), parallelism_(par)
 {}
@@ -171,6 +184,14 @@ UfcModel::compile(const trace::Trace &tr) const
 {
     UfcPerf perf(cfg_);
     return compiler::compileTrace(tr, loweringOptions(), perf, name());
+}
+
+compiler::Program
+UfcModel::compileStream(std::istream &is, std::size_t chunkBytes) const
+{
+    UfcPerf perf(cfg_);
+    return compiler::compileTraceStream(is, loweringOptions(), perf,
+                                        name(), nullptr, {}, chunkBytes);
 }
 
 RunResult
@@ -237,6 +258,23 @@ SharpModel::compile(const trace::Trace &tr) const
     return compiler::compileTrace(tr, loweringOptions(), perf, name());
 }
 
+compiler::Program
+SharpModel::compileStream(std::istream &is, std::size_t chunkBytes) const
+{
+    baselines::SharpPerf perf(cfg_);
+    // Per-op admission check in place of rejectUnsupported(): same typed
+    // error and message, raised as soon as the foreign op streams in.
+    const compiler::StreamOpCheck check = [](const trace::Trace &header,
+                                             const trace::TraceOp &op) {
+        UFC_EXPECT(op.scheme() != trace::Scheme::Tfhe, ConfigError,
+                   "SHARP only supports SIMD-scheme (CKKS) operations; "
+                   "trace '" << header.name << "' contains TFHE ops");
+    };
+    return compiler::compileTraceStream(is, loweringOptions(), perf,
+                                        name(), nullptr, check,
+                                        chunkBytes);
+}
+
 RunResult
 SharpModel::execute(const compiler::Program &program,
                     const RunOptions &opts) const
@@ -300,6 +338,21 @@ StrixModel::compile(const trace::Trace &tr) const
     rejectUnsupported(tr);
     baselines::StrixPerf perf(cfg_);
     return compiler::compileTrace(tr, loweringOptions(), perf, name());
+}
+
+compiler::Program
+StrixModel::compileStream(std::istream &is, std::size_t chunkBytes) const
+{
+    baselines::StrixPerf perf(cfg_);
+    const compiler::StreamOpCheck check = [](const trace::Trace &header,
+                                             const trace::TraceOp &op) {
+        UFC_EXPECT(op.scheme() == trace::Scheme::Tfhe, ConfigError,
+                   "Strix only supports logic-scheme (TFHE) operations; "
+                   "trace '" << header.name << "' contains non-TFHE ops");
+    };
+    return compiler::compileTraceStream(is, loweringOptions(), perf,
+                                        name(), nullptr, check,
+                                        chunkBytes);
 }
 
 RunResult

@@ -25,6 +25,7 @@
 #ifndef UFC_SIM_ACCELERATOR_H
 #define UFC_SIM_ACCELERATOR_H
 
+#include <cstddef>
 #include <memory>
 
 #include "baselines/sharp_perf.h"
@@ -33,6 +34,7 @@
 #include "compiler/lowering.h"
 #include "sim/cost_model.h"
 #include "sim/ufc_perf.h"
+#include "trace/serialize.h"
 
 namespace ufc {
 namespace sim {
@@ -60,6 +62,21 @@ class AcceleratorModel
      * corresponding run() would.
      */
     virtual compiler::Program compile(const trace::Trace &tr) const = 0;
+
+    /**
+     * Streaming variant of compile(): parse, validate and lower the
+     * trace text chunk-by-chunk from `is` (see
+     * compiler::compileTraceStream for the chunk-protocol contract).
+     * Single-chip models override this to never materialize the op
+     * vector, so traces larger than host memory compile in bounded
+     * space; the base implementation falls back to
+     * trace::readTrace + compile() for models that need a whole-trace
+     * view (ComposedModel's scheme partition).  Throws the same typed
+     * errors as compile() on the same inputs.
+     */
+    virtual compiler::Program
+    compileStream(std::istream &is,
+                  std::size_t chunkBytes = trace::kTraceReadChunk) const;
 
     /**
      * Execute a Program previously produced by this model's compile()
@@ -110,6 +127,9 @@ class UfcModel : public AcceleratorModel
                           compiler::Parallelism::TvLP);
 
     compiler::Program compile(const trace::Trace &tr) const override;
+    compiler::Program compileStream(
+        std::istream &is,
+        std::size_t chunkBytes = trace::kTraceReadChunk) const override;
     using AcceleratorModel::execute;
     RunResult execute(const compiler::Program &program,
                       const RunOptions &opts) const override;
@@ -139,6 +159,9 @@ class SharpModel : public AcceleratorModel
         const baselines::SharpConfig &cfg = baselines::SharpConfig{});
 
     compiler::Program compile(const trace::Trace &tr) const override;
+    compiler::Program compileStream(
+        std::istream &is,
+        std::size_t chunkBytes = trace::kTraceReadChunk) const override;
     using AcceleratorModel::execute;
     RunResult execute(const compiler::Program &program,
                       const RunOptions &opts) const override;
@@ -166,6 +189,9 @@ class StrixModel : public AcceleratorModel
         const baselines::StrixConfig &cfg = baselines::StrixConfig{});
 
     compiler::Program compile(const trace::Trace &tr) const override;
+    compiler::Program compileStream(
+        std::istream &is,
+        std::size_t chunkBytes = trace::kTraceReadChunk) const override;
     using AcceleratorModel::execute;
     RunResult execute(const compiler::Program &program,
                       const RunOptions &opts) const override;

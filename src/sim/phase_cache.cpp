@@ -1,0 +1,34 @@
+#include "sim/phase_cache.h"
+
+namespace ufc {
+namespace sim {
+
+PhaseCache::ExitPtr
+PhaseCache::find(u64 key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+void
+PhaseCache::insert(u64 key, ExitPtr state)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.emplace(key, std::move(state)); // first insert wins
+}
+
+std::size_t
+PhaseCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+} // namespace sim
+} // namespace ufc

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Phase-level result memoization for the bytecode engine.
+ *
+ * FHE workloads repeat phases almost verbatim — bootstrap inner loops,
+ * key-switch digit ladders, blind-rotate iterations — and a sweep
+ * re-executes whole content-identical programs (the paper batch runs the
+ * same suites on several figures).  The engine's state at any
+ * instruction boundary is small and fully enumerable: two clocks, the
+ * prefetch ring, the resident scratchpad set in LRU order, and the
+ * accumulated RunStats.  So a phase segment (compiler::PhaseSegment)
+ * whose content digest AND entry state match an earlier execution must
+ * produce the bit-identical exit state — the engine is deterministic —
+ * and the cache simply stores that exit state and restores it on a hit
+ * instead of re-stepping the segment.
+ *
+ * Why absolute exit snapshots and not deltas: the engine accumulates
+ * doubles, and floating-point addition is not associative — applying a
+ * delta to a different base would not be bit-identical.  Keying on the
+ * full entry state sidesteps that: a hit replays onto the *same* base by
+ * construction, so restoring the stored absolute values is exact.
+ *
+ * Thread safety: find/insert are mutex-guarded and the stored states are
+ * immutable (shared_ptr<const>), so one cache may be shared by every
+ * engine in a parallel batch.  Two threads racing on the same key both
+ * miss and compute identical snapshots; insert keeps the first.
+ */
+
+#ifndef UFC_SIM_PHASE_CACHE_H
+#define UFC_SIM_PHASE_CACHE_H
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/stats.h"
+
+namespace ufc {
+namespace sim {
+
+/**
+ * Everything the bytecode engine's observable behaviour depends on at an
+ * instruction boundary — the exact fields entryKey() hashes, stored
+ * absolutely (see file header for why not deltas).
+ */
+struct PhaseExitState
+{
+    double computeClock = 0.0;
+    double memClock = 0.0;
+    /// Prefetch-ring contents in logical order (oldest first); only the
+    /// last `window` completion times and the count are observable, so
+    /// restoring with ringStart = 0 is exact.
+    std::vector<double> ring;
+
+    struct SpadEntry
+    {
+        u32 slot = 0;
+        double bytes = 0.0;
+        bool dirty = false;
+    };
+    /// Resident scratchpad slots in LRU order (most recent first).
+    /// Non-resident slots carry no observable state: the engine
+    /// overwrites their bytes on re-entry and never walks them.
+    std::vector<SpadEntry> lru;
+    double spadUsed = 0.0;
+    u64 spadEvictions = 0;
+
+    /// Full accumulated statistics (totalCycles still 0 — it is defined
+    /// at end of run as the per-opcode sum).
+    RunStats stats;
+};
+
+/** Shared, thread-safe key -> exit-state map with hit/miss counters. */
+class PhaseCache
+{
+  public:
+    using ExitPtr = std::shared_ptr<const PhaseExitState>;
+
+    /** Look up a key; counts a hit or a miss.  Null on miss. */
+    ExitPtr find(u64 key);
+    /** Store an exit state; the first insert for a key wins (racing
+     *  inserters computed bit-identical states anyway). */
+    void insert(u64 key, ExitPtr state);
+
+    u64 hits() const { return hits_.load(std::memory_order_relaxed); }
+    u64
+    misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    u64 lookups() const { return hits() + misses(); }
+    std::size_t entries() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<u64, ExitPtr> map_;
+    std::atomic<u64> hits_{0};
+    std::atomic<u64> misses_{0};
+};
+
+} // namespace sim
+} // namespace ufc
+
+#endif // UFC_SIM_PHASE_CACHE_H

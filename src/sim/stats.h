@@ -52,7 +52,8 @@
 namespace ufc {
 namespace sim {
 
-class Timeline; // sim/timeline.h — optional structured event stream
+class Timeline;   // sim/timeline.h — optional structured event stream
+class PhaseCache; // sim/phase_cache.h — shared phase-result memoization
 
 /** Schema identifier embedded in every exported RunResult. */
 inline constexpr const char *kRunResultSchema = "ufc.runresult/v2";
@@ -126,6 +127,12 @@ struct RunOptions
     /// carrying the first diagnostic if any Error-severity finding
     /// exists.  Per-job isolation applies: other jobs are unaffected.
     bool lintTraces = false;
+    /// Optional caller-owned phase-result cache (sim/phase_cache.h),
+    /// honoured by the bytecode engine only.  Thread-safe: one cache may
+    /// be shared across concurrent runs.  Results are bit-identical with
+    /// or without it; timeline or host-deadline runs bypass it (see
+    /// BytecodeEngine::setPhaseCache).
+    PhaseCache *phaseCache = nullptr;
 };
 
 /**

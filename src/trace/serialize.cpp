@@ -17,8 +17,11 @@
 
 #include "trace/serialize.h"
 
+#include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "common/check.h"
 #include "common/error.h"
@@ -114,167 +117,278 @@ constexpr int kMaxCount = 1 << 30;       // batched op multiplicity
 
 } // namespace
 
-Trace
-readTrace(std::istream &is)
+TraceReader::TraceReader(TraceSink *sink) : sink_(sink)
 {
-    Trace tr;
-    std::string line;
-    std::size_t lineNo = 0;
-    int version = 0;
-    bool sawEnd = false;
-    bool sawMagic = false;
-    // Duplicate-header detection ("duplicate-id" corruption class).
-    bool sawName = false, sawCkks = false, sawTfhe = false,
-         sawLive = false;
-    // Phase-marker validation state: strict nesting, non-decreasing
-    // opIndex, no exact duplicates.
-    int openPhases = 0;
-    u64 lastPhaseOp = 0;
-    std::string lastPhaseLine;
+    UFC_EXPECT(sink != nullptr, ConfigError,
+               "TraceReader requires a sink");
+}
 
+void
+TraceReader::feed(const char *data, std::size_t len)
+{
+    if (done_)
+        return; // whole-file parser stops reading at 'end'
+    std::size_t pos = 0;
+    while (pos < len) {
+        const char *nl = static_cast<const char *>(
+            std::memchr(data + pos, '\n', len - pos));
+        if (nl == nullptr) {
+            line_.append(data + pos, len - pos);
+            peakBuffered_ = std::max(peakBuffered_, line_.size());
+            return;
+        }
+        const std::size_t span = static_cast<std::size_t>(nl - (data + pos));
+        line_.append(data + pos, span);
+        peakBuffered_ = std::max(peakBuffered_, line_.size());
+        pos += span + 1;
+        processLine();
+        line_.clear();
+        if (done_)
+            return;
+    }
+}
+
+void
+TraceReader::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    // An unterminated final line is still a line to getline().
+    if (!done_ && !line_.empty()) {
+        processLine();
+        line_.clear();
+    }
+    UFC_EXPECT(done_, TraceError,
+               "trace truncated: missing 'end' marker");
+    UFC_EXPECT(openPhases_ == 0, TraceError,
+               "trace has " << openPhases_
+                   << " unclosed phase region(s)");
+    while (!pendingMarkChecks_.empty() &&
+           pendingMarkChecks_.front() <= opsSeen_)
+        pendingMarkChecks_.pop_front();
+    UFC_EXPECT(pendingMarkChecks_.empty(), TraceError,
+               "phase marker index " << pendingMarkChecks_.front()
+                   << " past the end of the op stream (" << opsSeen_
+                   << " ops)");
+    sink_->onEnd(header_);
+}
+
+void
+TraceReader::processLine()
+{
+    const std::string &line = line_;
+    const std::size_t lineNo = ++lineNo_;
     const auto fail = [&](const std::string &what) {
         UFC_THROW(TraceError,
                   what << " [line " << lineNo << ": " << line << "]");
     };
 
-    while (std::getline(is, line)) {
-        ++lineNo;
-        if (line.size() > kMaxLineLen)
-            fail("trace line too long");
-        if (line.empty() || line[0] == '#')
-            continue;
-        std::istringstream ss(line);
-        std::string tag;
-        ss >> tag;
-        if (!sawMagic) {
-            // The first meaningful line must be the versioned magic;
-            // anything else (including a headerless v1 file) is rejected.
-            UFC_EXPECT(tag == kTraceMagic, TraceError,
-                       "not a ufc trace file (missing '"
-                           << kTraceMagic << "' magic, got '" << tag
-                           << "')");
-            ss >> version;
-            UFC_EXPECT(!ss.fail() && version >= kTraceMinReadVersion &&
-                           version <= kTraceFormatVersion,
-                       TraceError,
-                       "unsupported trace format version "
-                           << version << " (expected "
-                           << kTraceMinReadVersion << ".."
-                           << kTraceFormatVersion << ")");
-            sawMagic = true;
-            continue;
-        }
-        if (tag == "trace") {
-            if (sawName)
-                fail("duplicate 'trace' header line");
-            sawName = true;
-            ss >> tr.name;
-            if (ss.fail() || tr.name.empty())
-                fail("malformed trace-name line");
-        } else if (tag == "ckks") {
-            if (sawCkks)
-                fail("duplicate 'ckks' header line");
-            sawCkks = true;
-            ss >> tr.ckksRingDim >> tr.ckksLevels >> tr.ckksSpecial >>
-                tr.ckksDnum >> tr.ckksLimbBits;
-            if (ss.fail())
-                fail("malformed ckks header line");
-            if (tr.ckksRingDim > kMaxRingDim ||
-                tr.ckksLevels < 0 || tr.ckksLevels > kMaxSmallField ||
-                tr.ckksSpecial < 0 || tr.ckksSpecial > kMaxSmallField ||
-                tr.ckksDnum < 0 || tr.ckksDnum > kMaxSmallField ||
-                tr.ckksLimbBits < 0 || tr.ckksLimbBits > 64)
-                fail("ckks parameter out of range");
-        } else if (tag == "tfhe") {
-            if (sawTfhe)
-                fail("duplicate 'tfhe' header line");
-            sawTfhe = true;
-            ss >> tr.tfheRingDim >> tr.tfheLweDim >>
-                tr.tfheGadgetLevels >> tr.tfheKsLevels >> tr.tfheLimbBits;
-            if (ss.fail())
-                fail("malformed tfhe header line");
-            if (tr.tfheRingDim > kMaxRingDim ||
-                tr.tfheLweDim > kMaxRingDim ||
-                tr.tfheGadgetLevels < 0 ||
-                tr.tfheGadgetLevels > kMaxSmallField ||
-                tr.tfheKsLevels < 0 ||
-                tr.tfheKsLevels > kMaxSmallField ||
-                tr.tfheLimbBits < 0 || tr.tfheLimbBits > 64)
-                fail("tfhe parameter out of range");
-        } else if (tag == "live") {
-            if (sawLive)
-                fail("duplicate 'live' header line");
-            sawLive = true;
-            ss >> tr.liveCiphertexts;
-            if (ss.fail() || tr.liveCiphertexts < 0 ||
-                tr.liveCiphertexts > kMaxSmallField)
-                fail("malformed live-ciphertexts line");
-        } else if (tag == "phase") {
-            if (version < 3)
-                fail("phase markers require trace format v3");
-            if (tr.phases.size() >= kMaxPhases)
-                fail("too many phase markers");
-            std::string kind;
-            PhaseMark mark;
-            ss >> kind >> mark.opIndex;
-            mark.begin = kind == "begin";
-            if (!mark.begin && kind != "end")
-                fail("malformed phase line");
-            if (mark.begin)
-                ss >> mark.name;
-            if (ss.fail() || (mark.begin && mark.name.empty()))
-                fail("malformed phase line");
-            // Two identical consecutive *begin* marks open the same
-            // region twice — a duplicate-marker corruption.  Identical
-            // consecutive end marks are legal (nested regions closing at
-            // the same op index).
-            if (mark.begin && line == lastPhaseLine)
-                fail("duplicate phase marker");
-            lastPhaseLine = line;
-            if (!tr.phases.empty() && mark.opIndex < lastPhaseOp)
-                fail("phase markers out of order");
-            lastPhaseOp = mark.opIndex;
-            if (mark.begin) {
-                ++openPhases;
-            } else {
-                if (openPhases <= 0)
-                    fail("phase 'end' without an open region");
-                --openPhases;
-            }
-            tr.phases.push_back(std::move(mark));
-        } else if (tag == "op") {
-            if (tr.ops.size() >= kMaxOps)
-                fail("too many ops");
-            std::string mnemonic;
-            TraceOp op{};
-            ss >> mnemonic >> op.limbs >> op.count >> op.fanIn >> op.keyId;
-            UFC_EXPECT(opKindFromName(mnemonic, op.kind), TraceError,
-                       "unknown trace op: " << mnemonic);
-            if (ss.fail())
-                fail("malformed op line");
-            if (op.limbs < 0 || op.limbs > kMaxSmallField ||
-                op.count < 1 || op.count > kMaxCount ||
-                op.fanIn < 0 || op.fanIn > kMaxSmallField ||
-                op.keyId < 0 || op.keyId > kMaxCount)
-                fail("op field out of range");
-            tr.ops.push_back(op);
-        } else if (tag == "end") {
-            sawEnd = true;
-            break;
-        } else {
-            fail("unknown trace line tag: '" + tag + "'");
-        }
+    if (line.size() > kMaxLineLen)
+        fail("trace line too long");
+    if (line.empty() || line[0] == '#')
+        return;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (!sawMagic_) {
+        // The first meaningful line must be the versioned magic;
+        // anything else (including a headerless v1 file) is rejected.
+        UFC_EXPECT(tag == kTraceMagic, TraceError,
+                   "not a ufc trace file (missing '"
+                       << kTraceMagic << "' magic, got '" << tag
+                       << "')");
+        ss >> version_;
+        UFC_EXPECT(!ss.fail() && version_ >= kTraceMinReadVersion &&
+                       version_ <= kTraceFormatVersion,
+                   TraceError,
+                   "unsupported trace format version "
+                       << version_ << " (expected "
+                       << kTraceMinReadVersion << ".."
+                       << kTraceFormatVersion << ")");
+        sawMagic_ = true;
+        return;
     }
-    UFC_EXPECT(sawEnd, TraceError,
-               "trace truncated: missing 'end' marker");
-    UFC_EXPECT(openPhases == 0, TraceError,
-               "trace has " << openPhases << " unclosed phase region(s)");
-    for (const auto &mark : tr.phases)
-        UFC_EXPECT(mark.opIndex <= tr.ops.size(), TraceError,
-                   "phase marker index " << mark.opIndex
-                       << " past the end of the op stream ("
-                       << tr.ops.size() << " ops)");
-    return tr;
+    if (tag == "trace") {
+        if (sawName_)
+            fail("duplicate 'trace' header line");
+        sawName_ = true;
+        ss >> header_.name;
+        if (ss.fail() || header_.name.empty())
+            fail("malformed trace-name line");
+        headerSent_ = false;
+    } else if (tag == "ckks") {
+        if (sawCkks_)
+            fail("duplicate 'ckks' header line");
+        sawCkks_ = true;
+        ss >> header_.ckksRingDim >> header_.ckksLevels >>
+            header_.ckksSpecial >> header_.ckksDnum >>
+            header_.ckksLimbBits;
+        if (ss.fail())
+            fail("malformed ckks header line");
+        if (header_.ckksRingDim > kMaxRingDim ||
+            header_.ckksLevels < 0 ||
+            header_.ckksLevels > kMaxSmallField ||
+            header_.ckksSpecial < 0 ||
+            header_.ckksSpecial > kMaxSmallField ||
+            header_.ckksDnum < 0 || header_.ckksDnum > kMaxSmallField ||
+            header_.ckksLimbBits < 0 || header_.ckksLimbBits > 64)
+            fail("ckks parameter out of range");
+        headerSent_ = false;
+    } else if (tag == "tfhe") {
+        if (sawTfhe_)
+            fail("duplicate 'tfhe' header line");
+        sawTfhe_ = true;
+        ss >> header_.tfheRingDim >> header_.tfheLweDim >>
+            header_.tfheGadgetLevels >> header_.tfheKsLevels >>
+            header_.tfheLimbBits;
+        if (ss.fail())
+            fail("malformed tfhe header line");
+        if (header_.tfheRingDim > kMaxRingDim ||
+            header_.tfheLweDim > kMaxRingDim ||
+            header_.tfheGadgetLevels < 0 ||
+            header_.tfheGadgetLevels > kMaxSmallField ||
+            header_.tfheKsLevels < 0 ||
+            header_.tfheKsLevels > kMaxSmallField ||
+            header_.tfheLimbBits < 0 || header_.tfheLimbBits > 64)
+            fail("tfhe parameter out of range");
+        headerSent_ = false;
+    } else if (tag == "live") {
+        if (sawLive_)
+            fail("duplicate 'live' header line");
+        sawLive_ = true;
+        ss >> header_.liveCiphertexts;
+        if (ss.fail() || header_.liveCiphertexts < 0 ||
+            header_.liveCiphertexts > kMaxSmallField)
+            fail("malformed live-ciphertexts line");
+        headerSent_ = false;
+    } else if (tag == "phase") {
+        if (version_ < 3)
+            fail("phase markers require trace format v3");
+        if (phasesSeen_ >= kMaxPhases)
+            fail("too many phase markers");
+        std::string kind;
+        PhaseMark mark;
+        ss >> kind >> mark.opIndex;
+        mark.begin = kind == "begin";
+        if (!mark.begin && kind != "end")
+            fail("malformed phase line");
+        if (mark.begin)
+            ss >> mark.name;
+        if (ss.fail() || (mark.begin && mark.name.empty()))
+            fail("malformed phase line");
+        // Two identical consecutive *begin* marks open the same
+        // region twice — a duplicate-marker corruption.  Identical
+        // consecutive end marks are legal (nested regions closing at
+        // the same op index).
+        if (mark.begin && line == lastPhaseLine_)
+            fail("duplicate phase marker");
+        lastPhaseLine_ = line;
+        if (phasesSeen_ > 0 && mark.opIndex < lastPhaseOp_)
+            fail("phase markers out of order");
+        lastPhaseOp_ = mark.opIndex;
+        if (mark.begin) {
+            ++openPhases_;
+        } else {
+            if (openPhases_ <= 0)
+                fail("phase 'end' without an open region");
+            --openPhases_;
+        }
+        ++phasesSeen_;
+        if (mark.opIndex > opsSeen_)
+            pendingMarkChecks_.push_back(mark.opIndex);
+        if (!headerSent_) {
+            headerSent_ = true;
+            sink_->onHeader(header_);
+        }
+        sink_->onPhase(mark);
+    } else if (tag == "op") {
+        if (opsSeen_ >= kMaxOps)
+            fail("too many ops");
+        std::string mnemonic;
+        TraceOp op{};
+        ss >> mnemonic >> op.limbs >> op.count >> op.fanIn >> op.keyId;
+        UFC_EXPECT(opKindFromName(mnemonic, op.kind), TraceError,
+                   "unknown trace op: " << mnemonic);
+        if (ss.fail())
+            fail("malformed op line");
+        if (op.limbs < 0 || op.limbs > kMaxSmallField ||
+            op.count < 1 || op.count > kMaxCount ||
+            op.fanIn < 0 || op.fanIn > kMaxSmallField ||
+            op.keyId < 0 || op.keyId > kMaxCount)
+            fail("op field out of range");
+        ++opsSeen_;
+        while (!pendingMarkChecks_.empty() &&
+               pendingMarkChecks_.front() <= opsSeen_)
+            pendingMarkChecks_.pop_front();
+        if (!headerSent_) {
+            headerSent_ = true;
+            sink_->onHeader(header_);
+        }
+        sink_->onOp(op);
+    } else if (tag == "end") {
+        done_ = true;
+    } else {
+        fail("unknown trace line tag: '" + tag + "'");
+    }
+}
+
+void
+TraceBuildSink::copyHeader(const Trace &header)
+{
+    tr_.name = header.name;
+    tr_.ckksRingDim = header.ckksRingDim;
+    tr_.ckksLevels = header.ckksLevels;
+    tr_.ckksSpecial = header.ckksSpecial;
+    tr_.ckksDnum = header.ckksDnum;
+    tr_.ckksLimbBits = header.ckksLimbBits;
+    tr_.tfheRingDim = header.tfheRingDim;
+    tr_.tfheLweDim = header.tfheLweDim;
+    tr_.tfheGadgetLevels = header.tfheGadgetLevels;
+    tr_.tfheKsLevels = header.tfheKsLevels;
+    tr_.tfheLimbBits = header.tfheLimbBits;
+    tr_.liveCiphertexts = header.liveCiphertexts;
+}
+
+void
+TraceBuildSink::onHeader(const Trace &header)
+{
+    copyHeader(header);
+}
+
+void
+TraceBuildSink::onPhase(const PhaseMark &mark)
+{
+    tr_.phases.push_back(mark);
+}
+
+void
+TraceBuildSink::onOp(const TraceOp &op)
+{
+    tr_.ops.push_back(op);
+}
+
+void
+TraceBuildSink::onEnd(const Trace &header)
+{
+    copyHeader(header);
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    TraceBuildSink sink;
+    TraceReader reader(&sink);
+    std::vector<char> chunk(kTraceReadChunk);
+    while (!reader.done() && is) {
+        is.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+        const auto got = static_cast<std::size_t>(is.gcount());
+        if (got == 0)
+            break;
+        reader.feed(chunk.data(), got);
+    }
+    reader.finish();
+    return sink.take();
 }
 
 void

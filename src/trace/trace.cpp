@@ -50,65 +50,69 @@ Trace::endPhase()
     phases.push_back(PhaseMark{ops.size(), std::string(), false});
 }
 
-namespace {
-
-constexpr u64 kFnvOffset = 14695981039346656037ULL;
-constexpr u64 kFnvPrime = 1099511628211ULL;
-
 void
-mix(u64 &h, u64 v)
+ContentHasher::header(const Trace &tr)
 {
-    // Hash the full 64-bit value byte-wise so ids above 2^32 (the
-    // compiler's buffer namespaces) contribute every bit.
-    for (int i = 0; i < 8; ++i) {
-        h ^= (v >> (8 * i)) & 0xff;
-        h *= kFnvPrime;
-    }
+    using detail::fnvMix;
+    head_ = detail::kFnvOffset;
+    fnvMix(head_, tr.name);
+    fnvMix(head_, tr.ckksRingDim);
+    fnvMix(head_, static_cast<u64>(tr.ckksLevels));
+    fnvMix(head_, static_cast<u64>(tr.ckksSpecial));
+    fnvMix(head_, static_cast<u64>(tr.ckksDnum));
+    fnvMix(head_, static_cast<u64>(tr.ckksLimbBits));
+    fnvMix(head_, tr.tfheRingDim);
+    fnvMix(head_, static_cast<u64>(tr.tfheLweDim));
+    fnvMix(head_, static_cast<u64>(tr.tfheGadgetLevels));
+    fnvMix(head_, static_cast<u64>(tr.tfheKsLevels));
+    fnvMix(head_, static_cast<u64>(tr.tfheLimbBits));
+    fnvMix(head_, static_cast<u64>(tr.liveCiphertexts));
 }
 
 void
-mix(u64 &h, const std::string &s)
+ContentHasher::op(const TraceOp &op)
 {
-    mix(h, static_cast<u64>(s.size()));
-    for (const char c : s) {
-        h ^= static_cast<unsigned char>(c);
-        h *= kFnvPrime;
-    }
+    using detail::fnvMix;
+    fnvMix(ops_, static_cast<u64>(op.kind));
+    fnvMix(ops_, static_cast<u64>(op.limbs));
+    fnvMix(ops_, static_cast<u64>(op.count));
+    fnvMix(ops_, static_cast<u64>(op.fanIn));
+    fnvMix(ops_, static_cast<u64>(op.keyId));
+    ++opCount_;
 }
 
-} // namespace
+void
+ContentHasher::phase(const PhaseMark &mark)
+{
+    using detail::fnvMix;
+    fnvMix(phases_, mark.opIndex);
+    fnvMix(phases_, mark.name);
+    fnvMix(phases_, static_cast<u64>(mark.begin ? 1 : 0));
+    ++phaseCount_;
+}
+
+u64
+ContentHasher::finish() const
+{
+    using detail::fnvMix;
+    u64 h = head_;
+    fnvMix(h, ops_);
+    fnvMix(h, opCount_);
+    fnvMix(h, phases_);
+    fnvMix(h, phaseCount_);
+    return h;
+}
 
 u64
 contentHash(const Trace &tr)
 {
-    u64 h = kFnvOffset;
-    mix(h, tr.name);
-    mix(h, tr.ckksRingDim);
-    mix(h, static_cast<u64>(tr.ckksLevels));
-    mix(h, static_cast<u64>(tr.ckksSpecial));
-    mix(h, static_cast<u64>(tr.ckksDnum));
-    mix(h, static_cast<u64>(tr.ckksLimbBits));
-    mix(h, tr.tfheRingDim);
-    mix(h, static_cast<u64>(tr.tfheLweDim));
-    mix(h, static_cast<u64>(tr.tfheGadgetLevels));
-    mix(h, static_cast<u64>(tr.tfheKsLevels));
-    mix(h, static_cast<u64>(tr.tfheLimbBits));
-    mix(h, static_cast<u64>(tr.liveCiphertexts));
-    mix(h, static_cast<u64>(tr.ops.size()));
-    for (const auto &op : tr.ops) {
-        mix(h, static_cast<u64>(op.kind));
-        mix(h, static_cast<u64>(op.limbs));
-        mix(h, static_cast<u64>(op.count));
-        mix(h, static_cast<u64>(op.fanIn));
-        mix(h, static_cast<u64>(op.keyId));
-    }
-    mix(h, static_cast<u64>(tr.phases.size()));
-    for (const auto &mark : tr.phases) {
-        mix(h, mark.opIndex);
-        mix(h, mark.name);
-        mix(h, static_cast<u64>(mark.begin ? 1 : 0));
-    }
-    return h;
+    ContentHasher hasher;
+    hasher.header(tr);
+    for (const auto &op : tr.ops)
+        hasher.op(op);
+    for (const auto &mark : tr.phases)
+        hasher.phase(mark);
+    return hasher.finish();
 }
 
 u64
