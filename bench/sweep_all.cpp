@@ -21,11 +21,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
+#include "common/json.h"
+#include "metrics/metrics.h"
 #include "runner/report.h"
 #include "runner/sweeps.h"
 #include "sim/phase_cache.h"
@@ -129,6 +132,10 @@ usage(const char *argv0)
         "                    comparison as a small JSON record\n"
         "  --progress        per-job status lines on stderr\n"
         "                    (\"[jobs_done/jobs_total] <label> ...\")\n"
+        "  --metrics-out PATH  write the metrics registry as Prometheus\n"
+        "                    text exposition after the sweep\n"
+        "  --no-metrics      disable the metrics registry (on by default\n"
+        "                    here; results are bit-identical either way)\n"
         "  --list            print the selected jobs and exit\n"
         "\n"
         "exit status: 0 all jobs ok, 1 at least one job failed, 2 usage\n",
@@ -153,6 +160,8 @@ try {
     bool compareIr = false;
     bool usePhaseCache = false;
     std::string benchJsonPath;
+    std::string metricsOutPath;
+    bool noMetrics = false;
     bool list = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -197,6 +206,10 @@ try {
             usePhaseCache = true;
         else if (arg == "--bench-json")
             benchJsonPath = value();
+        else if (arg == "--metrics-out")
+            metricsOutPath = value();
+        else if (arg == "--no-metrics")
+            noMetrics = true;
         else if (arg == "--progress")
             cfg.progress = true;
         else if (arg == "--list")
@@ -206,6 +219,12 @@ try {
             return arg == "--help" || arg == "-h" ? 0 : 2;
         }
     }
+
+    // The sweep binary is the scrape surface for the metrics layer, so
+    // recording defaults ON here (library default is off).  Metrics are
+    // observation-only: on-vs-off runs are bit-identical on every
+    // simulated observable (the CI metrics-differential job asserts it).
+    metrics::setEnabled(!noMetrics);
 
     std::vector<runner::Sweep> sweeps;
     if (!noPaper) {
@@ -289,16 +308,31 @@ try {
                 parallelWall, batch.results.size() - batch.failureCount(),
                 batch.results.size());
     if (usePhaseCache) {
-        const u64 lookups = phaseCache.lookups();
+        // Registry-backed when metrics are on (the same numbers every
+        // scraper sees); direct cache counters otherwise.
+        u64 hits;
+        u64 lookups;
+        u64 entries;
+        if (metrics::enabled()) {
+            hits = metrics::counter("ufc_phase_cache_hits_total").value();
+            lookups = hits +
+                      metrics::counter("ufc_phase_cache_misses_total")
+                          .value();
+            entries = static_cast<u64>(
+                metrics::gauge("ufc_phase_cache_entries").value());
+        } else {
+            hits = phaseCache.hits();
+            lookups = phaseCache.lookups();
+            entries = phaseCache.entries();
+        }
         std::printf("phase cache: %llu hits / %llu lookups (%.1f%% hit "
-                    "rate), %zu entries\n",
-                    static_cast<unsigned long long>(phaseCache.hits()),
+                    "rate), %llu entries\n",
+                    static_cast<unsigned long long>(hits),
                     static_cast<unsigned long long>(lookups),
-                    lookups > 0 ? 100.0 * static_cast<double>(
-                                              phaseCache.hits()) /
+                    lookups > 0 ? 100.0 * static_cast<double>(hits) /
                                       static_cast<double>(lookups)
                                 : 0.0,
-                    phaseCache.entries());
+                    static_cast<unsigned long long>(entries));
     }
 
     if (!batch.allOk()) {
@@ -417,40 +451,41 @@ try {
         }
 
         if (!benchJsonPath.empty()) {
-            std::FILE *f = std::fopen(benchJsonPath.c_str(), "w");
+            std::ofstream f(benchJsonPath);
             if (!f) {
                 std::fprintf(stderr, "cannot write %s\n",
                              benchJsonPath.c_str());
                 return 1;
             }
-            std::fprintf(
-                f,
-                "{\n"
-                "  \"benchmark\": \"sweep_all bytecode vs trace-ir\",\n"
-                "  \"jobs\": %zu,\n"
-                "  \"threads\": %d,\n"
-                "  \"bytecode_wall_seconds\": %.3f,\n"
-                "  \"trace_ir_wall_seconds\": %.3f,\n"
-                "  \"speedup\": %.3f,\n"
-                "  \"bit_identical\": true,\n"
-                "  \"phase_cache\": {\n"
-                "    \"enabled\": %s,\n"
-                "    \"hits\": %llu,\n"
-                "    \"lookups\": %llu,\n"
-                "    \"entries\": %zu,\n"
-                "    \"uncached_bytecode_wall_seconds\": %.3f,\n"
-                "    \"cold_cached_wall_seconds\": %.3f,\n"
-                "    \"warm_cached_wall_seconds\": %.3f,\n"
-                "    \"warm_speedup_vs_uncached\": %.3f\n"
-                "  }\n"
-                "}\n",
-                jobs.size(), threads, parallelWall, irWall, speedup,
-                usePhaseCache ? "true" : "false",
-                static_cast<unsigned long long>(phaseCache.hits()),
-                static_cast<unsigned long long>(phaseCache.lookups()),
-                phaseCache.entries(), uncachedWall, cachedWall,
-                warmWall, warmWall > 0.0 ? uncachedWall / warmWall : 0.0);
-            std::fclose(f);
+            char buf[64];
+            const auto num = [&buf](double v) -> const char * {
+                std::snprintf(buf, sizeof(buf), "%.3f", v);
+                return buf;
+            };
+            f << "{\n  \"benchmark\": "
+              << json::quote("sweep_all bytecode vs trace-ir") << ",\n"
+              << "  \"jobs\": " << jobs.size() << ",\n"
+              << "  \"threads\": " << threads << ",\n"
+              << "  \"bytecode_wall_seconds\": " << num(parallelWall)
+              << ",\n"
+              << "  \"trace_ir_wall_seconds\": " << num(irWall) << ",\n"
+              << "  \"speedup\": " << num(speedup) << ",\n"
+              << "  \"bit_identical\": true,\n"
+              << "  \"phase_cache\": {\n"
+              << "    \"enabled\": "
+              << (usePhaseCache ? "true" : "false") << ",\n"
+              << "    \"hits\": " << phaseCache.hits() << ",\n"
+              << "    \"lookups\": " << phaseCache.lookups() << ",\n"
+              << "    \"entries\": " << phaseCache.entries() << ",\n"
+              << "    \"uncached_bytecode_wall_seconds\": "
+              << num(uncachedWall) << ",\n"
+              << "    \"cold_cached_wall_seconds\": " << num(cachedWall)
+              << ",\n"
+              << "    \"warm_cached_wall_seconds\": " << num(warmWall)
+              << ",\n"
+              << "    \"warm_speedup_vs_uncached\": "
+              << num(warmWall > 0.0 ? uncachedWall / warmWall : 0.0)
+              << "\n  }\n}\n";
             std::printf("wrote %s\n", benchJsonPath.c_str());
         }
     }
@@ -505,6 +540,15 @@ try {
     if (!csvPath.empty()) {
         runner::saveCsvReport(batch, csvPath);
         std::printf("wrote %s\n", csvPath.c_str());
+    }
+    if (!metricsOutPath.empty()) {
+        if (noMetrics) {
+            std::fprintf(stderr, "--metrics-out requires metrics "
+                                 "(drop --no-metrics)\n");
+            return 2;
+        }
+        metrics::savePrometheus(metricsOutPath);
+        std::printf("wrote %s\n", metricsOutPath.c_str());
     }
     return batch.allOk() ? 0 : 1;
 } catch (const ufc::Error &e) {

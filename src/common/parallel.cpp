@@ -5,12 +5,63 @@
 
 #include "common/parallel.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <memory>
+
+#include "metrics/metrics.h"
 
 namespace ufc {
 
 namespace {
+
+/// Registry instruments for the pooled dispatch path, resolved once.
+/// Only batches actually handed to workers are counted — the inline
+/// fallbacks (empty pool, count==1, nested call) stay untouched.
+struct PoolMetrics
+{
+    metrics::Counter &batches = metrics::counter(
+        "ufc_pool_batches_total", "Batches dispatched to pool workers");
+    metrics::Counter &tasks = metrics::counter(
+        "ufc_pool_tasks_total", "Tasks executed on the pooled path");
+    metrics::Counter &busyNs = metrics::counter(
+        "ufc_pool_task_busy_ns_total",
+        "Nanoseconds spent inside pooled tasks (worker utilization "
+        "numerator)");
+    metrics::Gauge &queueDepth = metrics::gauge(
+        "ufc_pool_queue_depth",
+        "Tasks enqueued by the current batch (high_water = largest batch)");
+    metrics::Histogram &taskUs = metrics::histogram(
+        "ufc_pool_task_duration_us", "Per-task latency in microseconds");
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics *m = new PoolMetrics(); // never freed
+    return *m;
+}
+
+/// Run one claimed index, charging its duration to the pool metrics
+/// when recording is on.
+inline void
+runPooledTask(const std::function<void(std::size_t)> &fn, std::size_t i)
+{
+    if (!metrics::enabled()) {
+        fn(i);
+        return;
+    }
+    PoolMetrics &pm = poolMetrics();
+    const auto t0 = std::chrono::steady_clock::now();
+    fn(i);
+    const auto ns = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    pm.tasks.inc();
+    pm.busyNs.inc(ns);
+    pm.taskUs.record(ns / 1000);
+}
 
 /// Set for the lifetime of every pool worker thread.
 thread_local bool tlsInsideWorker = false;
@@ -62,6 +113,12 @@ ThreadPool::parallelFor(std::size_t count,
         return;
     }
 
+    if (metrics::enabled()) {
+        PoolMetrics &pm = poolMetrics();
+        pm.batches.inc();
+        pm.queueDepth.set(static_cast<i64>(count));
+    }
+
     {
         std::lock_guard<std::mutex> lk(mu_);
         fn_ = &fn;
@@ -83,7 +140,7 @@ ThreadPool::parallelFor(std::size_t count,
                 break;
             i = cursor_++;
         }
-        fn(i);
+        runPooledTask(fn, i);
     }
     tlsActiveCaller = prevActive;
 
@@ -115,7 +172,7 @@ ThreadPool::workerLoop()
                     break;
                 i = cursor_++;
             }
-            (*fn)(i);
+            runPooledTask(*fn, i);
         }
         {
             std::lock_guard<std::mutex> lk(mu_);

@@ -13,6 +13,8 @@
 #include <ostream>
 #include <vector>
 
+#include "common/json.h"
+
 namespace ufc {
 namespace prof {
 
@@ -127,6 +129,42 @@ report(std::ostream &os)
     }
     if (rows.empty())
         os << "  (no samples)\n";
+}
+
+void
+writeJson(std::ostream &os)
+{
+    struct Row
+    {
+        const char *name;
+        unsigned long long calls;
+        unsigned long long ns;
+    };
+    std::vector<Row> rows;
+    for (Counter *c = registryHead().load(std::memory_order_acquire); c;
+         c = c->next) {
+        const auto calls = c->calls.load(std::memory_order_relaxed);
+        if (calls == 0)
+            continue;
+        rows.push_back({c->name, calls, c->ns.load(std::memory_order_relaxed)});
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        if (a.ns != b.ns)
+            return a.ns > b.ns;
+        return std::strcmp(a.name, b.name) < 0;
+    });
+
+    os << "{\"schema\":\"ufc.profile/v1\",\"counters\":[";
+    bool first = true;
+    for (const auto &r : rows) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":" << json::quote(r.name)
+           << ",\"calls\":" << r.calls << ",\"total_ns\":" << r.ns
+           << ",\"mean_ns\":" << r.ns / r.calls << "}";
+    }
+    os << "]}";
 }
 
 } // namespace prof

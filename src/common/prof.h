@@ -64,6 +64,12 @@ void report(std::ostream &os);
 /** True when any registered counter has recorded a call. */
 bool hasSamples();
 
+/** Write every counter with at least one call as one JSON object:
+ *  {"schema":"ufc.profile/v1","counters":[{"name":...,"calls":...,
+ *   "total_ns":...,"mean_ns":...},...]} — sorted by total time
+ *  descending (ties by name) so the output is deterministic. */
+void writeJson(std::ostream &os);
+
 /** RAII timer charging its lifetime to a Counter when profiling is on. */
 class ScopedTimer
 {

@@ -1,0 +1,120 @@
+#include "metrics/flight_recorder.h"
+
+#include <cstdio>
+
+#include "metrics/metrics.h"
+
+namespace ufc {
+namespace metrics {
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::JobStart: return "job_start";
+      case EventKind::JobOk: return "job_ok";
+      case EventKind::JobRetry: return "job_retry";
+      case EventKind::JobFailed: return "job_failed";
+      case EventKind::JobTimeout: return "job_timeout";
+      case EventKind::CacheHit: return "cache_hit";
+      case EventKind::CacheMiss: return "cache_miss";
+      case EventKind::CacheEvict: return "cache_evict";
+      case EventKind::WatchdogTrip: return "watchdog_trip";
+    }
+    return "?";
+}
+
+std::string
+formatEvent(const Event &e)
+{
+    char head[64];
+    std::snprintf(head, sizeof(head), "#%llu +%.3fms ",
+                  static_cast<unsigned long long>(e.seq),
+                  static_cast<double>(e.nsSinceStart) / 1e6);
+    std::string out = head;
+    out += eventKindName(e.kind);
+    if (!e.label.empty()) {
+        out += " ";
+        out += e.label;
+    }
+    if (!e.detail.empty()) {
+        out += " ";
+        out += e.detail;
+    }
+    return out;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      start_(std::chrono::steady_clock::now())
+{
+    ring_.resize(capacity_);
+}
+
+void
+FlightRecorder::record(EventKind kind, const std::string &label,
+                       const std::string &detail)
+{
+    if (!enabled())
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    const u64 ns = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+            .count());
+    std::lock_guard<std::mutex> lock(mu_);
+    Event &e = ring_[next_ % capacity_];
+    e.seq = next_;
+    e.nsSinceStart = ns;
+    e.kind = kind;
+    e.label = label;
+    e.detail = detail;
+    ++next_;
+}
+
+std::vector<Event>
+FlightRecorder::tail(std::size_t n) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const u64 have = next_ < capacity_ ? next_ : capacity_;
+    const u64 want = n < have ? n : have;
+    std::vector<Event> out;
+    out.reserve(static_cast<std::size_t>(want));
+    for (u64 i = next_ - want; i < next_; ++i)
+        out.push_back(ring_[i % capacity_]);
+    return out;
+}
+
+std::vector<std::string>
+FlightRecorder::formatTail(std::size_t n) const
+{
+    std::vector<std::string> out;
+    for (const Event &e : tail(n))
+        out.push_back(formatEvent(e));
+    return out;
+}
+
+u64
+FlightRecorder::totalRecorded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_;
+}
+
+void
+FlightRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    next_ = 0;
+    for (Event &e : ring_)
+        e = Event{};
+}
+
+FlightRecorder &
+flightRecorder()
+{
+    static FlightRecorder *r = new FlightRecorder(); // never freed
+    return *r;
+}
+
+} // namespace metrics
+} // namespace ufc

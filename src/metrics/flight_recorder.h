@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Bounded ring buffer of recent structured events — a flight recorder.
+ *
+ * A 130-job sweep that fails on job 87 should carry its own post-mortem:
+ * which jobs started around it, which cache lookups hit, whether a
+ * watchdog tripped.  Instrumented layers record(...) short structured
+ * events into a fixed-capacity ring; when a job fails, the runner
+ * attaches the formatted tail to JobOutcome diagnostics so the failure
+ * report is self-contained.
+ *
+ * Like the metrics registry the recorder is observation-only and gated
+ * on metrics::enabled(); the ring is mutex-guarded (events are rare
+ * relative to the simulation hot loop, so a lock here is cheap and keeps
+ * wrap-around ordering trivially correct).
+ */
+
+#ifndef UFC_METRICS_FLIGHT_RECORDER_H
+#define UFC_METRICS_FLIGHT_RECORDER_H
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ufc {
+namespace metrics {
+
+enum class EventKind {
+    JobStart,
+    JobOk,
+    JobRetry,
+    JobFailed,
+    JobTimeout,
+    CacheHit,
+    CacheMiss,
+    CacheEvict,
+    WatchdogTrip,
+};
+
+const char *eventKindName(EventKind k);
+
+struct Event {
+    u64 seq = 0;      ///< Global sequence number (monotone, never wraps).
+    u64 nsSinceStart = 0; ///< Nanoseconds since recorder construction.
+    EventKind kind = EventKind::JobStart;
+    std::string label;  ///< Subject (job label, cache key digest, ...).
+    std::string detail; ///< Free-form context (attempt number, sizes, ...).
+};
+
+/** One line per event: `#<seq> +<ms>ms <kind> <label> <detail>`. */
+std::string formatEvent(const Event &e);
+
+class FlightRecorder
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 256;
+
+    explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+    /** Append an event (no-op unless metrics::enabled()). */
+    void record(EventKind kind, const std::string &label,
+                const std::string &detail = "");
+
+    /** The most recent `n` events, oldest first. */
+    std::vector<Event> tail(std::size_t n) const;
+
+    /** Formatted tail(), one string per event. */
+    std::vector<std::string> formatTail(std::size_t n) const;
+
+    /** Total events ever recorded (including overwritten ones). */
+    u64 totalRecorded() const;
+
+    std::size_t capacity() const { return capacity_; }
+
+    void clear();
+
+  private:
+    const std::size_t capacity_;
+    const std::chrono::steady_clock::time_point start_;
+    mutable std::mutex mu_;
+    std::vector<Event> ring_; // ring_[seq % capacity_]
+    u64 next_ = 0;            // next sequence number
+};
+
+/** The process-wide recorder used by instrumented layers. */
+FlightRecorder &flightRecorder();
+
+} // namespace metrics
+} // namespace ufc
+
+#endif // UFC_METRICS_FLIGHT_RECORDER_H

@@ -10,36 +10,21 @@
 #include <ostream>
 
 #include "common/error.h"
+#include "common/json.h"
+#include "common/prof.h"
+#include "metrics/metrics.h"
 
 namespace ufc {
 namespace runner {
 
 namespace {
 
-/** Minimal JSON string escaping — error messages can carry quotes,
- *  backslashes and file paths. */
+/** Shared JSON string escaping (common/json.h) — error messages can
+ *  carry quotes, backslashes and file paths. */
 std::string
 jsonStr(const std::string &s)
 {
-    std::string out = "\"";
-    for (const char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    out += "\"";
-    return out;
+    return json::quote(s);
 }
 
 /** CSV field quoting for free-form text (RFC 4180 style). */
@@ -117,7 +102,19 @@ writeJsonReport(const BatchResult &batch, std::ostream &os,
            << ",\"status\":\"" << jobStatusName(oc.status) << "\""
            << ",\"error_kind\":" << jsonStr(oc.errorKind)
            << ",\"message\":" << jsonStr(oc.message)
-           << ",\"attempts\":" << oc.attempts << "}";
+           << ",\"attempts\":" << oc.attempts;
+        if (!oc.recentEvents.empty()) {
+            // Flight-recorder post-mortem captured when the job settled
+            // (only present when metrics were on).
+            os << ",\"recent_events\":[";
+            for (std::size_t e = 0; e < oc.recentEvents.size(); ++e) {
+                if (e)
+                    os << ",";
+                os << jsonStr(oc.recentEvents[e]);
+            }
+            os << "]";
+        }
+        os << "}";
     }
     os << (first ? "]" : "\n]") << ",\"runs\":[";
     for (std::size_t i = 0; i < ok.size(); ++i) {
@@ -125,7 +122,19 @@ writeJsonReport(const BatchResult &batch, std::ostream &os,
             os << ",";
         os << "\n" << ok[i].toJson();
     }
-    os << "\n]}\n";
+    // Host-side observability blocks, appended only when the respective
+    // layer is on so metrics-off reports stay byte-stable.
+    if (metrics::enabled()) {
+        os << "\n],\"metrics\":";
+        metrics::writeJson(os);
+        if (prof::enabled() && prof::hasSamples()) {
+            os << ",\"host_profile\":";
+            prof::writeJson(os);
+        }
+        os << "}\n";
+    } else {
+        os << "\n]}\n";
+    }
 }
 
 void

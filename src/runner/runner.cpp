@@ -29,6 +29,8 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/prof.h"
+#include "metrics/flight_recorder.h"
+#include "metrics/metrics.h"
 #include "trace/serialize.h"
 
 namespace ufc {
@@ -41,6 +43,78 @@ namespace {
 /// lines from different workers go through one lock.
 std::mutex gProgressMutex;
 
+/// How many flight-recorder events a failed job attaches to its outcome.
+constexpr std::size_t kFailureEventTail = 16;
+
+/// Registry instruments for the batch job lifecycle, resolved once.
+struct RunnerMetrics
+{
+    metrics::Counter &jobs = metrics::counter(
+        "ufc_runner_jobs_total", "Jobs executed by the experiment runner");
+    metrics::Counter &jobsOk = metrics::counter(
+        "ufc_runner_jobs_ok_total", "Jobs that succeeded first try");
+    metrics::Counter &jobsRetried = metrics::counter(
+        "ufc_runner_jobs_retried_total",
+        "Jobs that succeeded after at least one retry");
+    metrics::Counter &jobsFailed = metrics::counter(
+        "ufc_runner_jobs_failed_total", "Jobs whose every attempt failed");
+    metrics::Counter &jobsTimeout = metrics::counter(
+        "ufc_runner_jobs_timeout_total",
+        "Jobs cancelled by the deadline/watchdog");
+    metrics::Counter &retries = metrics::counter(
+        "ufc_runner_retries_total", "Extra attempts after a failed one");
+    metrics::Histogram &jobUs = metrics::histogram(
+        "ufc_runner_job_duration_us",
+        "Per-job wall clock in microseconds, retries included");
+};
+
+RunnerMetrics &
+runnerMetrics()
+{
+    static RunnerMetrics *m = new RunnerMetrics(); // never freed
+    return *m;
+}
+
+/// Registry instruments for the batch-scoped ProgramCache.
+struct ProgramCacheMetrics
+{
+    metrics::Counter &hits = metrics::counter(
+        "ufc_program_cache_hits_total",
+        "Program-cache requests served from an installed entry");
+    metrics::Counter &misses = metrics::counter(
+        "ufc_program_cache_misses_total",
+        "Program-cache requests that triggered a compile");
+    metrics::Counter &evictions = metrics::counter(
+        "ufc_program_cache_evictions_total",
+        "Program-cache entries dropped by the maxEntries bound");
+    metrics::Gauge &entries = metrics::gauge(
+        "ufc_program_cache_entries",
+        "Entries in the most recently touched program cache");
+};
+
+ProgramCacheMetrics &
+programCacheMetrics()
+{
+    static ProgramCacheMetrics *m = new ProgramCacheMetrics();
+    return *m;
+}
+
+/// Console flag for the --progress line: what the batch phase cache did
+/// for this job.
+const char *
+cacheFlag(const RunnerConfig &cfg, const sim::RunResult &r)
+{
+    if (!cfg.phaseCache)
+        return "off";
+    if (r.phaseCacheHits > 0 && r.phaseCacheMisses > 0)
+        return "mixed";
+    if (r.phaseCacheHits > 0)
+        return "hit";
+    if (r.phaseCacheMisses > 0)
+        return "miss";
+    return "none"; // cache armed but no segment boundary crossed
+}
+
 } // namespace
 
 std::shared_ptr<const compiler::Program>
@@ -52,6 +126,8 @@ ProgramCache::get(const sim::AcceleratorModel &model,
     std::promise<std::shared_ptr<const compiler::Program>> promise;
     Entry entry;
     bool owner = false;
+    u64 evicted = 0;
+    std::size_t entryCount = 0;
     {
         std::lock_guard<std::mutex> lock(mu_);
         const auto it = entries_.find(key);
@@ -61,8 +137,37 @@ ProgramCache::get(const sim::AcceleratorModel &model,
         } else {
             entry = promise.get_future().share();
             entries_.emplace(key, entry);
+            order_.push_back(key);
             owner = true;
+            // FIFO eviction: drop the oldest entry while over the bound.
+            // Evicting an in-flight compile is safe — waiters hold their
+            // own shared_future copies — and the key can be re-inserted
+            // (and re-compiled) later; compilation is deterministic, so
+            // only host time changes.
+            while (maxEntries_ > 0 && entries_.size() > maxEntries_) {
+                entries_.erase(order_.front());
+                order_.pop_front();
+                evictions_.fetch_add(1, std::memory_order_relaxed);
+                ++evicted;
+            }
         }
+        entryCount = entries_.size();
+    }
+
+    if (metrics::enabled()) {
+        ProgramCacheMetrics &m = programCacheMetrics();
+        (owner ? m.misses : m.hits).inc();
+        if (evicted > 0)
+            m.evictions.inc(evicted);
+        m.entries.set(static_cast<i64>(entryCount));
+        metrics::flightRecorder().record(
+            owner ? metrics::EventKind::CacheMiss
+                  : metrics::EventKind::CacheHit,
+            "program_cache", "workload=" + tr.name);
+        if (evicted > 0)
+            metrics::flightRecorder().record(
+                metrics::EventKind::CacheEvict, "program_cache",
+                "evicted=" + std::to_string(evicted));
     }
 
     // First requester compiles outside the lock (so unrelated keys are
@@ -160,8 +265,19 @@ ExperimentRunner::runOne(const Job &job, std::size_t index,
         !job.label.empty() ? job.label
                            : "job#" + std::to_string(index);
 
+    if (metrics::enabled())
+        metrics::flightRecorder().record(metrics::EventKind::JobStart,
+                                         label);
+
     for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
         outcome.attempts = attempt;
+        if (attempt > 1 && metrics::enabled()) {
+            runnerMetrics().retries.inc();
+            metrics::flightRecorder().record(metrics::EventKind::JobRetry,
+                                             label,
+                                             "attempt=" +
+                                                 std::to_string(attempt));
+        }
         try {
             UFC_EXPECT(job.model != nullptr, ConfigError,
                        "runner job '" << label << "' has no model");
@@ -233,6 +349,14 @@ ExperimentRunner::runOne(const Job &job, std::size_t index,
             // kind/message as the captured diagnostic.
             outcome.status = attempt == 1 ? JobStatus::Ok
                                           : JobStatus::RetriedOk;
+            if (metrics::enabled()) {
+                RunnerMetrics &m = runnerMetrics();
+                (attempt == 1 ? m.jobsOk : m.jobsRetried).inc();
+                metrics::flightRecorder().record(
+                    metrics::EventKind::JobOk, label,
+                    attempt == 1 ? std::string()
+                                 : "attempt=" + std::to_string(attempt));
+            }
             return;
         } catch (const TimeoutError &e) {
             // Deadline/watchdog trips are terminal: retrying a hung job
@@ -259,6 +383,19 @@ ExperimentRunner::runOne(const Job &job, std::size_t index,
         result.machine = job.model->name();
     if (job.trace)
         result.workload = job.trace->name;
+    if (metrics::enabled()) {
+        RunnerMetrics &m = runnerMetrics();
+        const bool timedOut = outcome.status == JobStatus::TimedOut;
+        (timedOut ? m.jobsTimeout : m.jobsFailed).inc();
+        metrics::flightRecorder().record(
+            timedOut ? metrics::EventKind::JobTimeout
+                     : metrics::EventKind::JobFailed,
+            label, outcome.errorKind);
+        // Attach the post-mortem: the recorder's recent tail, including
+        // this job's own terminal event.
+        outcome.recentEvents =
+            metrics::flightRecorder().formatTail(kFailureEventTail);
+    }
 }
 
 BatchResult
@@ -271,7 +408,12 @@ ExperimentRunner::runAll(const std::vector<Job> &jobs) const
     std::atomic<std::size_t> jobsDone{0};
     // Batch-scoped: the jobs' shared_ptrs keep every model alive for at
     // least as long as the cache (see ProgramCache lifetime contract).
-    ProgramCache cache;
+    ProgramCache cache(cfg_.programCacheMaxEntries);
+    // Register the cache series even when no job ends up sharing a
+    // program (a scrape should see the counters at zero, not miss the
+    // series entirely).
+    if (metrics::enabled())
+        (void)programCacheMetrics();
 
     // A compiled Program is only worth retaining when a sibling job will
     // reuse it.  The job list is known up front, so count the distinct
@@ -298,8 +440,25 @@ ExperimentRunner::runAll(const std::vector<Job> &jobs) const
     ThreadPool pool(effectiveThreads(jobs.size()));
     pool.parallelFor(jobs.size(), [&](std::size_t i) {
         UFC_PROF_SCOPE("runner.job");
+        // Per-job wall clock (retries included) for the latency
+        // histogram and the --progress line; skipped entirely when
+        // neither consumer is active.
+        const bool timeJob = cfg_.progress || metrics::enabled();
+        const auto t0 = timeJob ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
         runOne(jobs[i], i, batch.results[i], batch.outcomes[i],
                sharedProgram[i] ? &cache : nullptr);
+        double wallMs = 0.0;
+        if (timeJob) {
+            wallMs = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+            if (metrics::enabled()) {
+                RunnerMetrics &m = runnerMetrics();
+                m.jobs.inc();
+                m.jobUs.record(static_cast<u64>(wallMs * 1000.0));
+            }
+        }
         if (cfg_.progress) {
             const std::size_t done =
                 jobsDone.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -311,18 +470,19 @@ ExperimentRunner::runAll(const std::vector<Job> &jobs) const
             if (oc.ok()) {
                 std::fprintf(stderr,
                              "[%zu/%zu] %s status=%s machine=%s "
-                             "workload=%s host_seconds=%.3f\n",
+                             "workload=%s wall_ms=%.1f cache=%s\n",
                              done, jobs.size(), r.label.c_str(),
                              jobStatusName(oc.status),
                              r.machine.c_str(), r.workload.c_str(),
-                             r.hostSeconds);
+                             wallMs, cacheFlag(cfg_, r));
             } else {
                 std::fprintf(stderr,
                              "[%zu/%zu] %s status=%s attempts=%d "
-                             "error=%s: %s\n",
+                             "wall_ms=%.1f error=%s: %s\n",
                              done, jobs.size(), r.label.c_str(),
                              jobStatusName(oc.status), oc.attempts,
-                             oc.errorKind.c_str(), oc.message.c_str());
+                             wallMs, oc.errorKind.c_str(),
+                             oc.message.c_str());
             }
         }
     });

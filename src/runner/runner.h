@@ -24,6 +24,7 @@
 #define UFC_RUNNER_RUNNER_H
 
 #include <atomic>
+#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -59,6 +60,15 @@ namespace runner {
 class ProgramCache
 {
   public:
+    /** `maxEntries` bounds the cache (0 = unbounded, the default).
+     *  When an insert exceeds the bound the oldest entry is evicted
+     *  (FIFO by insertion) — safe even while the evicted compile is
+     *  still in flight, since every waiter holds its own copy of the
+     *  shared future and the Program is shared_ptr-owned. */
+    explicit ProgramCache(std::size_t maxEntries = 0)
+        : maxEntries_(maxEntries)
+    {}
+
     /** The compiled Program for `tr` on `model`, compiling on first
      *  use.  Thread-safe; throws whatever compile() threw. */
     std::shared_ptr<const compiler::Program>
@@ -66,11 +76,18 @@ class ProgramCache
 
     /** Requests served from an already-installed entry. */
     u64 hits() const { return hits_.load(std::memory_order_relaxed); }
-    /** compile() calls actually performed (== distinct keys seen). */
+    /** compile() calls actually performed (== distinct keys seen,
+     *  counting re-compiles of evicted keys). */
     u64
     compiles() const
     {
         return compiles_.load(std::memory_order_relaxed);
+    }
+    /** Entries dropped by the maxEntries bound. */
+    u64
+    evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
     }
 
   private:
@@ -101,10 +118,13 @@ class ProgramCache
     using Entry =
         std::shared_future<std::shared_ptr<const compiler::Program>>;
 
+    const std::size_t maxEntries_;
     std::mutex mu_;
     std::unordered_map<Key, Entry, KeyHash> entries_;
+    std::deque<Key> order_; ///< insertion order, for FIFO eviction
     std::atomic<u64> hits_{0};
     std::atomic<u64> compiles_{0};
+    std::atomic<u64> evictions_{0};
 };
 
 /**
@@ -161,6 +181,11 @@ struct RunnerConfig
     /// re-simulating, bit-identically.  The caller reads hit/miss
     /// counters off the cache after the batch.  IR-mode jobs ignore it.
     sim::PhaseCache *phaseCache = nullptr;
+    /// Bound on the batch-scoped ProgramCache (0 = unbounded).  Bounded
+    /// caches evict FIFO; an evicted (model, trace) pair re-compiles on
+    /// its next use.  Results are identical either way — compilation is
+    /// deterministic — only host time and peak memory change.
+    std::size_t programCacheMaxEntries = 0;
 };
 
 /** Terminal state of one job within a batch. */
@@ -189,6 +214,12 @@ struct JobOutcome
     std::string errorKind;
     /// Captured what() of the error; empty for a clean Ok.
     std::string message;
+    /// Formatted tail of the metrics flight recorder captured when the
+    /// job settled as Failed/TimedOut (empty on success, or when metrics
+    /// are off).  The events are process-wide — neighbouring jobs'
+    /// entries appear too, which is exactly the post-mortem context a
+    /// failure in a 100-job sweep needs.
+    std::vector<std::string> recentEvents;
 
     /// Did the job produce a valid result?
     bool

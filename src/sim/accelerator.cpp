@@ -56,9 +56,18 @@ lowerAndRun(const trace::Trace &tr, const compiler::LoweringOptions &opts,
  * value behaves identically on either path (including the TimeoutError
  * diagnostics, which both engines emit through sim::detail helpers).
  */
+/// Host-side phase-cache lookup outcomes of one executeProgram() call;
+/// surfaced on RunResult (never serialized — see stats.h).
+struct ExecCacheCounts
+{
+    u64 hits = 0;
+    u64 misses = 0;
+};
+
 RunStats
 executeProgram(const compiler::Program &program,
-               const std::string &machine, const RunOptions &runOpts)
+               const std::string &machine, const RunOptions &runOpts,
+               ExecCacheCounts *cacheCounts = nullptr)
 {
     validateRunOptions(runOpts);
     UFC_EXPECT(!program.composed(), ConfigError,
@@ -80,7 +89,12 @@ executeProgram(const compiler::Program &program,
         runOpts.timeline->clear();
         engine.setTimeline(runOpts.timeline);
     }
-    return engine.run();
+    RunStats stats = engine.run();
+    if (cacheCounts) {
+        cacheCounts->hits = engine.runCacheHits();
+        cacheCounts->misses = engine.runCacheMisses();
+    }
+    return stats;
 }
 
 /** Fill the non-stats fields common to every model's result. */
@@ -198,8 +212,12 @@ RunResult
 UfcModel::execute(const compiler::Program &program,
                   const RunOptions &opts) const
 {
-    return attach(executeProgram(program, name(), opts), opts,
-                  program.workload);
+    ExecCacheCounts cc;
+    RunResult r = attach(executeProgram(program, name(), opts, &cc), opts,
+                         program.workload);
+    r.phaseCacheHits = cc.hits;
+    r.phaseCacheMisses = cc.misses;
+    return r;
 }
 
 RunResult
@@ -279,8 +297,12 @@ RunResult
 SharpModel::execute(const compiler::Program &program,
                     const RunOptions &opts) const
 {
-    return attach(executeProgram(program, name(), opts), opts,
-                  program.workload);
+    ExecCacheCounts cc;
+    RunResult r = attach(executeProgram(program, name(), opts, &cc), opts,
+                         program.workload);
+    r.phaseCacheHits = cc.hits;
+    r.phaseCacheMisses = cc.misses;
+    return r;
 }
 
 RunResult
@@ -359,8 +381,12 @@ RunResult
 StrixModel::execute(const compiler::Program &program,
                     const RunOptions &opts) const
 {
-    return attach(executeProgram(program, name(), opts), opts,
-                  program.workload);
+    ExecCacheCounts cc;
+    RunResult r = attach(executeProgram(program, name(), opts, &cc), opts,
+                         program.workload);
+    r.phaseCacheHits = cc.hits;
+    r.phaseCacheMisses = cc.misses;
+    return r;
 }
 
 RunResult
@@ -452,6 +478,10 @@ ComposedModel::combine(const RunResult &sharpRes,
     r.energyHbmJ = sharpRes.energyHbmJ + strixRes.energyHbmJ + pcieEnergyJ;
     r.areaMm2 = areaMm2();
     r.powerW = r.seconds > 0 ? r.energyJ / r.seconds : 0.0;
+    // Host-side observability carry-through (not a simulated observable).
+    r.phaseCacheHits = sharpRes.phaseCacheHits + strixRes.phaseCacheHits;
+    r.phaseCacheMisses =
+        sharpRes.phaseCacheMisses + strixRes.phaseCacheMisses;
     return r;
 }
 

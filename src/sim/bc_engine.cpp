@@ -146,9 +146,11 @@ BytecodeEngine::step(const compiler::BcInst &b)
 {
     // Cooperative host-deadline poll, same cadence as the IR engine.
     if (hostDeadline_ != std::chrono::steady_clock::time_point{} &&
-        stats_.instCount % CycleEngine::kDeadlinePollPeriod == 0 &&
-        std::chrono::steady_clock::now() >= hostDeadline_)
-        detail::throwHostDeadline(stats_.instCount, computeClock_);
+        stats_.instCount % CycleEngine::kDeadlinePollPeriod == 0) {
+        detail::countDeadlinePoll();
+        if (std::chrono::steady_clock::now() >= hostDeadline_)
+            detail::throwHostDeadline(stats_.instCount, computeClock_);
+    }
 
     // Memory phase.  Stream instructions carry it pre-computed; Mem
     // instructions walk their operand records in original order so the
@@ -430,11 +432,13 @@ BytecodeEngine::exec()
                 const u64 key = entryKey(segHashes_[si]);
                 const auto hit = cache_->find(key);
                 if (!hit) {
+                    ++runCacheMisses_;
                     pendingSeg = si;
                     pendingKey = key;
                     ++si;
                     break;
                 }
+                ++runCacheHits_;
                 restoreState(*hit);
                 i = static_cast<size_t>(segs[si].end);
                 while (li < loops.size() && loops[li].end <= i)
@@ -496,6 +500,8 @@ BytecodeEngine::run()
                        << "); see lint rule bc-loop-invariant");
         prevEnd = lp.end;
     }
+    runCacheHits_ = 0;
+    runCacheMisses_ = 0;
     // Phase-cache gating: a timeline must replay every instruction, and
     // a wall-clock deadline must keep polling real time inside skipped
     // segments, so both disable the cache for this run.

@@ -73,6 +73,13 @@ class BytecodeEngine
      *  CycleEngine::finish()). */
     RunStats run();
 
+    /** Phase-cache lookups resolved by the last run(): hits and misses
+     *  (both 0 when the cache was inactive).  Host-side observability
+     *  only — the outcome depends on what concurrent runs populated, so
+     *  these never feed a simulated observable. */
+    u64 runCacheHits() const { return runCacheHits_; }
+    u64 runCacheMisses() const { return runCacheMisses_; }
+
   private:
     /// Dense-slot scratchpad entry; prev/next form an intrusive LRU
     /// list over resident slots (head = most recent, tail = eviction
@@ -134,6 +141,10 @@ class BytecodeEngine
     u32 lruTail_ = kNil;
     double spadUsed_ = 0.0;
     u64 spadEvictions_ = 0;
+
+    // Last-run phase-cache lookup outcomes (see runCacheHits()).
+    u64 runCacheHits_ = 0;
+    u64 runCacheMisses_ = 0;
 
     RunStats stats_;
 };

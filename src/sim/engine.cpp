@@ -6,8 +6,12 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "common/error.h"
+#include "metrics/flight_recorder.h"
+#include "metrics/metrics.h"
 #include "sim/timeline.h"
 
 namespace ufc {
@@ -15,9 +19,41 @@ namespace sim {
 
 namespace detail {
 
+namespace {
+
+std::string
+formatCycles(double simCycles)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "cycles=%.0f", simCycles);
+    return buf;
+}
+
+} // namespace
+
+void
+countDeadlinePoll()
+{
+    if (metrics::enabled()) {
+        static metrics::Counter &polls = metrics::counter(
+            "ufc_engine_deadline_polls_total",
+            "Armed host-deadline watchdog polls (clock reads)");
+        polls.inc();
+    }
+}
+
 void
 throwHostDeadline(u64 instCount, double simCycles)
 {
+    if (metrics::enabled()) {
+        static metrics::Counter &trips = metrics::counter(
+            "ufc_engine_deadline_trips_total",
+            "Host-deadline watchdog trips (job cancelled)");
+        trips.inc();
+        metrics::flightRecorder().record(metrics::EventKind::WatchdogTrip,
+                                         "host_deadline",
+                                         formatCycles(simCycles));
+    }
     UFC_THROW(TimeoutError,
               "host deadline exceeded after " << instCount
                   << " instructions (" << simCycles
@@ -27,6 +63,15 @@ throwHostDeadline(u64 instCount, double simCycles)
 void
 throwMaxCycles(double simCycles, u64 bound, u64 instCount)
 {
+    if (metrics::enabled()) {
+        static metrics::Counter &trips = metrics::counter(
+            "ufc_engine_maxcycles_trips_total",
+            "maxCycles watchdog trips (runaway simulation stopped)");
+        trips.inc();
+        metrics::flightRecorder().record(metrics::EventKind::WatchdogTrip,
+                                         "max_cycles",
+                                         formatCycles(simCycles));
+    }
     UFC_THROW(TimeoutError,
               "maxCycles watchdog tripped: "
                   << simCycles << " simulated cycles > bound " << bound
@@ -102,9 +147,11 @@ CycleEngine::issue(const isa::HwInst &inst)
     // kDeadlinePollPeriod instructions so a hung/runaway job can be
     // cancelled without per-issue syscall cost.
     if (hostDeadline_ != std::chrono::steady_clock::time_point{} &&
-        stats_.instCount % kDeadlinePollPeriod == 0 &&
-        std::chrono::steady_clock::now() >= hostDeadline_)
-        detail::throwHostDeadline(stats_.instCount, computeClock_);
+        stats_.instCount % kDeadlinePollPeriod == 0) {
+        detail::countDeadlinePoll();
+        if (std::chrono::steady_clock::now() >= hostDeadline_)
+            detail::throwHostDeadline(stats_.instCount, computeClock_);
+    }
 
     // Memory phase: fetch missing operands, schedule write-backs.
     double fetchBytes = 0.0;

@@ -48,6 +48,10 @@ namespace detail {
 [[noreturn]] void throwMaxCycles(double simCycles, u64 bound,
                                  u64 instCount);
 
+/** Count one armed host-deadline poll (the clock syscall, not the cheap
+ *  modulo skip) in the metrics registry.  Observation only. */
+void countDeadlinePoll();
+
 } // namespace detail
 
 /**

@@ -1,7 +1,35 @@
 #include "sim/phase_cache.h"
 
+#include "metrics/metrics.h"
+
 namespace ufc {
 namespace sim {
+
+namespace {
+
+/// Process-wide registry view of every PhaseCache instance combined.
+struct PhaseCacheMetrics
+{
+    metrics::Counter &hits = metrics::counter(
+        "ufc_phase_cache_hits_total", "Phase-cache segment lookups that hit");
+    metrics::Counter &misses = metrics::counter(
+        "ufc_phase_cache_misses_total",
+        "Phase-cache segment lookups that missed");
+    metrics::Counter &inserts = metrics::counter(
+        "ufc_phase_cache_inserts_total", "Phase-cache entries inserted");
+    metrics::Gauge &entries = metrics::gauge(
+        "ufc_phase_cache_entries",
+        "Entries in the most recently touched phase cache");
+};
+
+PhaseCacheMetrics &
+phaseCacheMetrics()
+{
+    static PhaseCacheMetrics *m = new PhaseCacheMetrics(); // never freed
+    return *m;
+}
+
+} // namespace
 
 PhaseCache::ExitPtr
 PhaseCache::find(u64 key)
@@ -10,9 +38,13 @@ PhaseCache::find(u64 key)
     auto it = map_.find(key);
     if (it == map_.end()) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics::enabled())
+            phaseCacheMetrics().misses.inc();
         return nullptr;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics::enabled())
+        phaseCacheMetrics().hits.inc();
     return it->second;
 }
 
@@ -20,7 +52,13 @@ void
 PhaseCache::insert(u64 key, ExitPtr state)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    map_.emplace(key, std::move(state)); // first insert wins
+    const bool inserted =
+        map_.emplace(key, std::move(state)).second; // first insert wins
+    if (inserted && metrics::enabled()) {
+        PhaseCacheMetrics &m = phaseCacheMetrics();
+        m.inserts.inc();
+        m.entries.set(static_cast<i64>(map_.size()));
+    }
 }
 
 std::size_t

@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "common/json.h"
 
 namespace ufc {
 namespace sim {
@@ -39,29 +40,11 @@ num(double v)
     return buf;
 }
 
-/** Minimal JSON string escaping (labels/names are plain ASCII here). */
+/** Shared JSON string escaping (common/json.h). */
 std::string
 jsonStr(const std::string &s)
 {
-    std::string out = "\"";
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    out += "\"";
-    return out;
+    return json::quote(s);
 }
 
 /** CSV field quoting per RFC 4180 (only when needed). */

@@ -280,6 +280,13 @@ struct RunResult
     /// experiment runner, never by the models (it is the one field that
     /// is not deterministic run-to-run).
     double hostSeconds = 0.0;
+    /// Phase-cache lookups this run resolved as hits/misses (both 0 when
+    /// no cache was attached).  Host-side observability only: the split
+    /// depends on which concurrent run populated an entry first, so —
+    /// like hostSeconds — these are never serialized by toJson() or
+    /// toCsvRow() and never feed a simulated observable.
+    u64 phaseCacheHits = 0;
+    u64 phaseCacheMisses = 0;
     /// Captured from RunOptions at run time; governs export detail.
     StatsVerbosity verbosity = StatsVerbosity::Full;
 

@@ -25,6 +25,7 @@
 
 #include "common/check.h"
 #include "common/error.h"
+#include "metrics/metrics.h"
 
 namespace ufc {
 namespace trace {
@@ -126,6 +127,30 @@ TraceReader::TraceReader(TraceSink *sink) : sink_(sink)
 void
 TraceReader::feed(const char *data, std::size_t len)
 {
+    if (metrics::enabled()) {
+        static metrics::Counter &chunks = metrics::counter(
+            "ufc_trace_reader_chunks_total",
+            "Chunks fed into streaming trace readers");
+        static metrics::Counter &bytes = metrics::counter(
+            "ufc_trace_reader_bytes_total",
+            "Bytes fed into streaming trace readers");
+        chunks.inc();
+        bytes.inc(len);
+    }
+    // Publish the reader's running peak on every feed() exit; the gauge's
+    // high-water mark then tracks the largest line buffered by any reader.
+    struct PeakGuard {
+        const TraceReader &r;
+        ~PeakGuard()
+        {
+            if (metrics::enabled()) {
+                static metrics::Gauge &peak = metrics::gauge(
+                    "ufc_trace_reader_peak_buffered_bytes",
+                    "Peak bytes buffered for one trace line");
+                peak.set(static_cast<i64>(r.peakBufferedBytes()));
+            }
+        }
+    } peakGuard{*this};
     if (done_)
         return; // whole-file parser stops reading at 'end'
     std::size_t pos = 0;

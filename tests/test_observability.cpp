@@ -454,10 +454,15 @@ TEST(Observability, InstrumentedRunIsBitIdenticalSerialAndParallel)
         EXPECT_EQ(a.stats.stalls.dependency, b.stats.stalls.dependency);
         EXPECT_FALSE(timelines[i].empty()) << a.label;
     }
-    // Progress emitted one line per job, machine-readable done/total.
+    // Progress emitted one line per job, machine-readable done/total,
+    // with per-job wall clock and the phase-cache flag ("off" here —
+    // no cache was configured).
     EXPECT_NE(progressOut.find("[1/3]"), std::string::npos) << progressOut;
     EXPECT_NE(progressOut.find("[3/3]"), std::string::npos) << progressOut;
-    EXPECT_NE(progressOut.find("host_seconds="), std::string::npos);
+    EXPECT_NE(progressOut.find("wall_ms="), std::string::npos)
+        << progressOut;
+    EXPECT_NE(progressOut.find("cache=off"), std::string::npos)
+        << progressOut;
 }
 
 // ---------------------------------------------------------------------
