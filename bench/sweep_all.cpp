@@ -17,7 +17,9 @@
  *   ./build/bench/sweep_all --no-paper --trace my.ufctrace --retries 1
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +38,18 @@
 using namespace ufc;
 
 namespace {
+
+/// Set by the SIGINT/SIGTERM handler; the runner checks it before each
+/// job (RunnerConfig::cancelFlag), so an interrupted sweep finishes its
+/// in-flight jobs, marks the rest "skipped", and still flushes a
+/// partial report before exiting 130.
+std::atomic<bool> gInterrupted{false};
+
+extern "C" void
+onInterrupt(int)
+{
+    gInterrupted.store(true, std::memory_order_relaxed);
+}
 
 double
 now()
@@ -113,6 +127,9 @@ usage(const char *argv0)
         "                    job)\n"
         "  --no-paper        skip the paper sweeps (only --trace jobs)\n"
         "  --retries N       extra attempts for failed jobs (default 0)\n"
+        "  --retry-backoff-ms B  base delay of the seeded exponential\n"
+        "                    backoff between retry attempts (default 25;\n"
+        "                    0 restores immediate retry)\n"
         "  --timeout S       per-job host deadline in seconds\n"
         "  --max-cycles N    simulated-cycle watchdog per job "
         "(default: unlimited)\n"
@@ -138,7 +155,9 @@ usage(const char *argv0)
         "                    here; results are bit-identical either way)\n"
         "  --list            print the selected jobs and exit\n"
         "\n"
-        "exit status: 0 all jobs ok, 1 at least one job failed, 2 usage\n",
+        "exit status: 0 all jobs ok, 1 at least one job failed, 2 usage,\n"
+        "             130 interrupted by SIGINT/SIGTERM (partial report\n"
+        "             written with \"interrupted\":true)\n",
         argv0);
 }
 
@@ -190,6 +209,8 @@ try {
             noPaper = true;
         else if (arg == "--retries")
             cfg.maxRetries = std::atoi(value());
+        else if (arg == "--retry-backoff-ms")
+            cfg.retryBackoff.baseMs = std::atof(value());
         else if (arg == "--timeout")
             cfg.jobTimeoutSeconds = std::atof(value());
         else if (arg == "--max-cycles")
@@ -219,6 +240,13 @@ try {
             return arg == "--help" || arg == "-h" ? 0 : 2;
         }
     }
+
+    // Cooperative interruption: SIGINT/SIGTERM stop launching new jobs
+    // but let in-flight ones finish, then the partial report is written
+    // with "interrupted":true and the exit status is 130.
+    std::signal(SIGINT, onInterrupt);
+    std::signal(SIGTERM, onInterrupt);
+    cfg.cancelFlag = &gInterrupted;
 
     // The sweep binary is the scrape surface for the metrics layer, so
     // recording defaults ON here (library default is off).  Metrics are
@@ -335,7 +363,13 @@ try {
                     static_cast<unsigned long long>(entries));
     }
 
-    if (!batch.allOk()) {
+    const bool interrupted = batch.interrupted();
+    if (interrupted)
+        std::fprintf(stderr,
+                     "sweep interrupted by signal; writing partial "
+                     "report (finished jobs are valid)\n");
+
+    if (!batch.allOk() && !interrupted) {
         std::fprintf(stderr, "%zu job(s) failed:\n",
                      batch.failureCount());
         for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
@@ -349,7 +383,7 @@ try {
         }
     }
 
-    if (compareIr) {
+    if (compareIr && !interrupted) {
         // Same batch on the legacy IR interpreter; the bytecode engine
         // must be bit-identical on every result and strictly faster in
         // aggregate (the JIT acceptance gate).
@@ -490,8 +524,9 @@ try {
         }
     }
 
-    if (compareSerial) {
+    if (compareSerial && !interrupted) {
         runner::RunnerConfig serialCfg = cfg;
+        serialCfg.cancelFlag = nullptr;
         serialCfg.threads = 1;
         const runner::ExperimentRunner serialExec(serialCfg);
         const double s0 = now();
@@ -530,6 +565,7 @@ try {
     meta.generator = "ufc-sweep-all";
     meta.threads = threads;
     meta.wallSeconds = parallelWall;
+    meta.interrupted = interrupted;
     if (!jsonPath.empty()) {
         runner::saveJsonReport(batch, jsonPath, meta);
         std::printf("wrote %s (%zu runs, %zu failures)\n",
@@ -550,6 +586,8 @@ try {
         metrics::savePrometheus(metricsOutPath);
         std::printf("wrote %s\n", metricsOutPath.c_str());
     }
+    if (interrupted)
+        return 130; // conventional fatal-signal exit, report flushed
     return batch.allOk() ? 0 : 1;
 } catch (const ufc::Error &e) {
     std::fprintf(stderr, "error: %s: %s\n", e.kind().c_str(), e.what());

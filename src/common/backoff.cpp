@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Backoff schedule implementation.  The jitter draw mirrors the
+ * FaultInjector's decision hashing (FNV-1a over the key, splitmix64
+ * finalization) so the schedule is a pure, platform-independent function
+ * of (seed, key, attempt).
+ */
+
+#include "common/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace ufc {
+
+namespace {
+
+u64
+fnv1a(const std::string &s)
+{
+    u64 h = 1469598103934665603ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+u64
+splitmix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+double
+backoffDelayMs(const BackoffPolicy &policy, const std::string &key,
+               int attempt)
+{
+    if (policy.baseMs <= 0.0 || attempt < 1)
+        return 0.0;
+
+    // Capped exponential: base * multiplier^(attempt-1), computed
+    // iteratively with an early cap so large attempt counts cannot
+    // overflow to inf.
+    double delay = policy.baseMs;
+    const double mult = policy.multiplier > 1.0 ? policy.multiplier : 1.0;
+    for (int i = 1; i < attempt && delay < policy.maxMs; ++i)
+        delay *= mult;
+    delay = std::min(delay, policy.maxMs > 0.0 ? policy.maxMs : delay);
+
+    const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+    if (jitter == 0.0)
+        return delay;
+
+    // Deterministic uniform draw in [0, 1): hash (seed, key, attempt)
+    // and take the top 53 bits.
+    const u64 h = splitmix64(policy.seed ^ splitmix64(fnv1a(key)) ^
+                             splitmix64(static_cast<u64>(attempt)));
+    const double u =
+        static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+    // Land in [delay * (1 - jitter), delay].
+    return delay * ((1.0 - jitter) + jitter * u);
+}
+
+void
+backoffSleep(const BackoffPolicy &policy, const std::string &key,
+             int attempt)
+{
+    const double ms = backoffDelayMs(policy, key, attempt);
+    if (ms > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double,
+                                                          std::milli>(ms));
+}
+
+} // namespace ufc

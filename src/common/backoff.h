@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Seeded exponential backoff with deterministic jitter.
+ *
+ * Both retry paths in the repo — the experiment runner's bounded
+ * `--retries` and the ufc_serve daemon's per-request retry — used to
+ * re-run a failed attempt immediately, which under a correlated fault
+ * (a briefly unreadable trace file, a transient injected fault wave)
+ * just burns the retry budget in microseconds.  This helper computes the
+ * classic capped exponential delay with *deterministic* jitter: the
+ * jitter draw is a pure hash of (seed, site key, attempt), so the same
+ * seed always yields the same delay schedule on every platform and
+ * thread count — the property that lets tests assert the schedule
+ * bit-exactly instead of sleeping and hoping.
+ */
+
+#ifndef UFC_COMMON_BACKOFF_H
+#define UFC_COMMON_BACKOFF_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace ufc {
+
+/** Delay schedule knobs for backoffDelayMs(). */
+struct BackoffPolicy
+{
+    /// Delay before the second attempt, in milliseconds.  <= 0 disables
+    /// backoff entirely (backoffDelayMs returns 0 — the legacy
+    /// immediate-re-run behaviour).
+    double baseMs = 25.0;
+    /// Upper bound on the un-jittered delay.
+    double maxMs = 2000.0;
+    /// Growth factor per failed attempt.
+    double multiplier = 2.0;
+    /// Fraction of each delay that is randomized, in [0, 1].  The
+    /// jittered delay lands in [delay * (1 - jitter), delay]; 0 gives
+    /// the exact exponential schedule.
+    double jitter = 0.5;
+    /// Decision-space seed; same seed => same schedule for a given key.
+    u64 seed = 0;
+};
+
+/**
+ * Delay in milliseconds to sleep before retry number `attempt` + 1,
+ * where `attempt` >= 1 counts failed attempts so far.  Pure function of
+ * (policy, key, attempt): deterministic across platforms, threads and
+ * calls.  `key` identifies the retrying site (typically the job label)
+ * so concurrent retriers with different keys decorrelate.
+ */
+double backoffDelayMs(const BackoffPolicy &policy, const std::string &key,
+                      int attempt);
+
+/** Sleep for backoffDelayMs(...); no-op when the delay is zero. */
+void backoffSleep(const BackoffPolicy &policy, const std::string &key,
+                  int attempt);
+
+} // namespace ufc
+
+#endif // UFC_COMMON_BACKOFF_H

@@ -19,6 +19,7 @@
  *   ufc::Error                 base (carries a stable kind() tag)
  *   ├── ufc::TraceError        trace file parse/validation failures
  *   ├── ufc::ConfigError       bad run/job/report configuration or I/O
+ *   ├── ufc::OverloadError     admission rejection under load (serve)
  *   └── ufc::SimError          simulation-time faults
  *       └── ufc::TimeoutError  cooperative deadline / maxCycles watchdog
  *
@@ -70,6 +71,29 @@ class ConfigError : public Error
     explicit ConfigError(const std::string &msg)
         : Error("ConfigError", msg)
     {}
+};
+
+/**
+ * Load-shedding rejection from an admission-controlled service (the
+ * ufc_serve daemon): the queue is full, the tenant is over its rate, a
+ * degradation tier is shedding this class of work, or the server is
+ * draining.  Carries a retry-after hint so well-behaved clients back
+ * off instead of hammering; -1 means "do not retry" (e.g. draining).
+ */
+class OverloadError : public Error
+{
+  public:
+    explicit OverloadError(const std::string &msg,
+                           double retryAfterMs = 0.0)
+        : Error("OverloadError", msg), retryAfterMs_(retryAfterMs)
+    {}
+
+    /** Suggested client wait before resubmitting, in milliseconds
+     *  (0 = immediately fine, -1 = do not retry). */
+    double retryAfterMs() const noexcept { return retryAfterMs_; }
+
+  private:
+    double retryAfterMs_;
 };
 
 /** A fault raised while simulating (including injected faults). */

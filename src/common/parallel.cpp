@@ -100,6 +100,16 @@ ThreadPool::insideWorker()
     return tlsInsideWorker;
 }
 
+ThreadPool::WorkerScope::WorkerScope() : prev_(tlsInsideWorker)
+{
+    tlsInsideWorker = true;
+}
+
+ThreadPool::WorkerScope::~WorkerScope()
+{
+    tlsInsideWorker = prev_;
+}
+
 void
 ThreadPool::parallelFor(std::size_t count,
                         const std::function<void(std::size_t)> &fn)

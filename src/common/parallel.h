@@ -68,6 +68,31 @@ class ThreadPool
     /** True when the calling thread is a worker of any ThreadPool. */
     static bool insideWorker();
 
+    /**
+     * Scope guard claiming pool-worker status for the calling thread:
+     * while alive, any parallelFor() issued from this thread runs
+     * inline, exactly as if the thread were a pool worker.
+     *
+     * Long-lived service workers (the ufc_serve daemon's job executors)
+     * use this so nested kernel-level fan-out cannot race on the shared
+     * kernel pool: concurrent parallelFor() calls from *distinct
+     * external* threads would clobber each other's in-flight batch
+     * state, but worker-status threads take the inline path, making the
+     * worker count the true process concurrency — the same policy the
+     * experiment runner's pool enforces for its own workers.
+     */
+    class WorkerScope
+    {
+      public:
+        WorkerScope();
+        ~WorkerScope();
+        WorkerScope(const WorkerScope &) = delete;
+        WorkerScope &operator=(const WorkerScope &) = delete;
+
+      private:
+        bool prev_;
+    };
+
   private:
     void workerLoop();
 

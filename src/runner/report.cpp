@@ -54,6 +54,9 @@ writeEnvelopeHead(std::ostream &os, const char *schema,
        << ",\"generator\":\"" << meta.generator << "\""
        << ",\"threads\":" << meta.threads
        << ",\"wall_seconds\":" << wall;
+    // Only written when set, so pre-existing reports stay byte-stable.
+    if (meta.interrupted)
+        os << ",\"interrupted\":true";
 }
 
 } // namespace

@@ -38,6 +38,12 @@ struct ReportMeta
     std::string generator = "ufc-runner"; ///< producing tool
     int threads = 0;          ///< pool size used (0 = unknown)
     double wallSeconds = 0.0; ///< end-to-end batch wall-clock
+    /// The producing batch was cancelled (SIGINT/SIGTERM) before every
+    /// job ran.  When true the envelope carries "interrupted":true and
+    /// the skipped jobs appear in the failures block with status
+    /// "skipped"; when false the envelope is byte-identical to one
+    /// written before this field existed.
+    bool interrupted = false;
 };
 
 /** Write the JSON report document. */

@@ -193,6 +193,7 @@ jobStatusName(JobStatus status)
       case JobStatus::RetriedOk: return "retried_ok";
       case JobStatus::Failed: return "failed";
       case JobStatus::TimedOut: return "timed_out";
+      case JobStatus::Skipped: return "skipped";
     }
     return "unknown";
 }
@@ -205,6 +206,15 @@ BatchResult::failureCount() const
         if (!oc.ok())
             ++n;
     return n;
+}
+
+bool
+BatchResult::interrupted() const
+{
+    for (const auto &oc : outcomes)
+        if (oc.status == JobStatus::Skipped)
+            return true;
+    return false;
 }
 
 std::vector<sim::RunResult>
@@ -231,6 +241,8 @@ BatchResult::throwFirstFailure() const
                                 " attempt(s): " + oc.message;
         if (oc.status == JobStatus::TimedOut)
             throw TimeoutError(msg);
+        if (oc.status == JobStatus::Skipped)
+            throw SimError(msg);
         if (oc.errorKind == "TraceError")
             throw TraceError(msg);
         if (oc.errorKind == "ConfigError")
@@ -374,6 +386,12 @@ ExperimentRunner::runOne(const Job &job, std::size_t index,
             outcome.errorKind = "std::exception";
             outcome.message = e.what();
         }
+        // Capped exponential backoff with deterministic jitter before
+        // the next attempt (common/backoff.h) — a correlated transient
+        // fault gets time to clear.  Sleeping only affects host
+        // wall-clock, never simulated results.
+        if (attempt < maxAttempts)
+            backoffSleep(cfg_.retryBackoff, label, attempt);
     }
     // All attempts failed (or timed out): leave a labelled placeholder
     // so result slots stay aligned with the job list.
@@ -396,6 +414,14 @@ ExperimentRunner::runOne(const Job &job, std::size_t index,
         outcome.recentEvents =
             metrics::flightRecorder().formatTail(kFailureEventTail);
     }
+}
+
+void
+ExperimentRunner::runJob(const Job &job, std::size_t index,
+                         sim::RunResult &result, JobOutcome &outcome,
+                         ProgramCache *cache) const
+{
+    runOne(job, index, result, outcome, cache);
 }
 
 BatchResult
@@ -440,6 +466,25 @@ ExperimentRunner::runAll(const std::vector<Job> &jobs) const
     ThreadPool pool(effectiveThreads(jobs.size()));
     pool.parallelFor(jobs.size(), [&](std::size_t i) {
         UFC_PROF_SCOPE("runner.job");
+        // Cooperative cancellation (SIGINT/SIGTERM in sweep_all): jobs
+        // not yet started are marked Skipped so the partial report
+        // still accounts for every job, and in-flight siblings finish
+        // normally — their results stay bit-identical to an
+        // uninterrupted run.
+        if (cfg_.cancelFlag &&
+            cfg_.cancelFlag->load(std::memory_order_relaxed)) {
+            auto &oc = batch.outcomes[i];
+            oc.status = JobStatus::Skipped;
+            oc.attempts = 0;
+            oc.errorKind = "Interrupted";
+            oc.message = "batch cancelled before this job started";
+            auto &r = batch.results[i];
+            r = sim::RunResult{};
+            r.label = !jobs[i].label.empty()
+                          ? jobs[i].label
+                          : "job#" + std::to_string(i);
+            return;
+        }
         // Per-job wall clock (retries included) for the latency
         // histogram and the --progress line; skipped entirely when
         // neither consumer is active.

@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/fault.h"
 #include "sim/accelerator.h"
 #include "trace/trace.h"
@@ -167,6 +168,19 @@ struct RunnerConfig
     /// Extra attempts after a failed one (not applied to timeouts — a
     /// hung job would hang again).  0 = fail on the first error.
     int maxRetries = 0;
+    /// Delay schedule between retry attempts: capped exponential with
+    /// deterministic seeded jitter keyed on the job label (see
+    /// common/backoff.h).  Replaces the immediate re-run: a correlated
+    /// transient fault gets time to clear instead of burning the retry
+    /// budget instantly.  Set baseMs <= 0 to restore immediate retry.
+    /// Sleeping never affects results — only host wall-clock.
+    BackoffPolicy retryBackoff;
+    /// Optional cooperative cancellation flag (not owned): once it reads
+    /// true, jobs not yet started are marked JobStatus::Skipped instead
+    /// of running, and runAll() returns as soon as in-flight jobs
+    /// finish.  sweep_all points this at its SIGINT/SIGTERM flag so an
+    /// interrupted sweep still flushes a partial report.
+    const std::atomic<bool> *cancelFlag = nullptr;
     /// Per-attempt cooperative deadline in host seconds, enforced via
     /// the cycle engine's poll points; <= 0 disables.  A tripped
     /// deadline marks the job timed_out without disturbing the batch.
@@ -195,10 +209,11 @@ enum class JobStatus
     RetriedOk, ///< a retry succeeded after >= 1 failed attempts
     Failed,    ///< all attempts failed (last error captured)
     TimedOut,  ///< deadline/watchdog tripped (never retried)
+    Skipped,   ///< batch cancelled before this job started
 };
 
 /** Stable lower-case tag for reports: "ok", "retried_ok", "failed",
- *  "timed_out". */
+ *  "timed_out", "skipped". */
 const char *jobStatusName(JobStatus status);
 
 /** Per-job diagnostic record filled by ExperimentRunner::runAll(). */
@@ -242,6 +257,10 @@ struct BatchResult
     std::size_t failureCount() const;
     bool allOk() const { return failureCount() == 0; }
 
+    /// True when the batch was cancelled before every job ran (some
+    /// outcome is JobStatus::Skipped).
+    bool interrupted() const;
+
     /// Results of the successful jobs only (job order preserved).
     std::vector<sim::RunResult> okResults() const;
 
@@ -274,6 +293,20 @@ class ExperimentRunner
      *  (after the whole batch has finished) — for callers that treat
      *  any failure as fatal. */
     std::vector<sim::RunResult> run(const std::vector<Job> &jobs) const;
+
+    /**
+     * Execute ONE job on the calling thread with the full isolation
+     * machinery (typed-error capture, bounded retries with backoff,
+     * deadline mapping, flight-recorder post-mortem on failure).  This
+     * is the unit of work a long-lived service schedules: the ufc_serve
+     * daemon calls it per accepted request from its own worker threads,
+     * passing its persistent ProgramCache so compiled programs stay
+     * warm across requests.  `cache` may be null (no program sharing).
+     * Never throws for job-level failures.
+     */
+    void runJob(const Job &job, std::size_t index,
+                sim::RunResult &result, JobOutcome &outcome,
+                ProgramCache *cache) const;
 
     /** Threads the pool would use for a batch of `jobs` jobs. */
     int effectiveThreads(std::size_t jobs) const;

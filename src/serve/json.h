@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal JSON value model and recursive-descent parser for the
+ * ufc_serve wire protocol.
+ *
+ * The repo has always *written* JSON (common/json.h and the report
+ * writers); the daemon is the first component that must *read* it —
+ * from untrusted clients.  The parser is therefore strict and bounded:
+ * it rejects trailing garbage, caps nesting depth, validates string
+ * escapes (including \uXXXX with surrogate pairs), and throws
+ * ufc::ConfigError with a byte-offset diagnosis on any malformed input
+ * — never aborts, never reads out of bounds — so a hostile payload
+ * costs the daemon one error response, not the process.
+ *
+ * The value model is deliberately small: objects keep insertion order
+ * in a flat vector (the protocol's objects have a handful of keys, so
+ * linear lookup beats a map), and numbers carry both an i64 and a
+ * double view, preserving 64-bit integers exactly.
+ */
+
+#ifndef UFC_SERVE_JSON_H
+#define UFC_SERVE_JSON_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ufc {
+namespace serve {
+
+/** One parsed JSON value (tree-owned; copyable). */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+    JsonValue() = default;
+
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBool(bool b);
+    static JsonValue makeInt(i64 v);
+    static JsonValue makeDouble(double v);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray();
+    static JsonValue makeObject();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isObject() const { return type_ == Type::Object; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isString() const { return type_ == Type::String; }
+    bool isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Double;
+    }
+    bool isBool() const { return type_ == Type::Bool; }
+
+    /** Typed accessors; throw ufc::ConfigError on a type mismatch. */
+    bool asBool() const;
+    i64 asInt() const;       ///< Double values must be integral.
+    double asDouble() const; ///< Int values widen.
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+    const std::vector<std::pair<std::string, JsonValue>> &
+    asObject() const;
+
+    /** Object field lookup; null when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Convenience lookups with defaults (objects only; a present field
+     *  of the wrong type throws ufc::ConfigError naming the key). */
+    std::string getString(const std::string &key,
+                          const std::string &dflt = "") const;
+    i64 getInt(const std::string &key, i64 dflt = 0) const;
+    double getDouble(const std::string &key, double dflt = 0.0) const;
+    bool getBool(const std::string &key, bool dflt = false) const;
+
+    /** Mutators for building response/request documents. */
+    void set(const std::string &key, JsonValue v); ///< object append/replace
+    void push(JsonValue v);                        ///< array append
+
+    /** Serialize (compact, no whitespace; strings escaped via
+     *  common/json.h). */
+    std::string dump() const;
+
+  private:
+    Type type_ = Type::Null;
+    bool b_ = false;
+    i64 i_ = 0;
+    double d_ = 0.0;
+    std::string s_;
+    std::vector<JsonValue> arr_;
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/** Maximum nesting depth parseJson() accepts. */
+inline constexpr int kJsonMaxDepth = 64;
+
+/**
+ * Parse exactly one JSON document from `text` (the whole string must be
+ * consumed, modulo trailing whitespace).  Throws ufc::ConfigError with
+ * a byte offset on malformed input.
+ */
+JsonValue parseJson(const std::string &text);
+
+} // namespace serve
+} // namespace ufc
+
+#endif // UFC_SERVE_JSON_H

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic retry-backoff schedule (common/backoff.h): the jitter
+ * draw is a pure hash of (seed, key, attempt), so whole schedules can
+ * be asserted bit-exactly — no sleeping, no tolerance windows.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/backoff.h"
+
+using namespace ufc;
+
+TEST(Backoff, SameInputsSameDelayBitExact)
+{
+    BackoffPolicy p;
+    p.seed = 42;
+    for (int attempt = 1; attempt <= 8; ++attempt) {
+        const double a = backoffDelayMs(p, "fig10a/helr/ufc", attempt);
+        const double b = backoffDelayMs(p, "fig10a/helr/ufc", attempt);
+        EXPECT_EQ(a, b) << "attempt " << attempt;
+    }
+}
+
+TEST(Backoff, ZeroJitterIsExactCappedExponential)
+{
+    BackoffPolicy p;
+    p.baseMs = 10.0;
+    p.maxMs = 100.0;
+    p.multiplier = 2.0;
+    p.jitter = 0.0;
+    EXPECT_EQ(10.0, backoffDelayMs(p, "k", 1));
+    EXPECT_EQ(20.0, backoffDelayMs(p, "k", 2));
+    EXPECT_EQ(40.0, backoffDelayMs(p, "k", 3));
+    EXPECT_EQ(80.0, backoffDelayMs(p, "k", 4));
+    EXPECT_EQ(100.0, backoffDelayMs(p, "k", 5)); // capped
+    EXPECT_EQ(100.0, backoffDelayMs(p, "k", 50));
+}
+
+TEST(Backoff, JitteredDelayStaysInWindow)
+{
+    BackoffPolicy p;
+    p.baseMs = 16.0;
+    p.maxMs = 4096.0;
+    p.jitter = 0.5;
+    for (u64 seed = 0; seed < 4; ++seed) {
+        p.seed = seed;
+        double exact = p.baseMs;
+        for (int attempt = 1; attempt <= 10; ++attempt) {
+            const double d = backoffDelayMs(p, "job", attempt);
+            const double hi = std::min(exact, p.maxMs);
+            EXPECT_LE(d, hi);
+            EXPECT_GE(d, hi * (1.0 - p.jitter));
+            exact *= p.multiplier;
+        }
+    }
+}
+
+TEST(Backoff, KeysDecorrelateTheSchedule)
+{
+    BackoffPolicy p;
+    p.seed = 7;
+    // With 50% jitter it is overwhelmingly likely that two distinct
+    // keys disagree somewhere in an 8-attempt schedule; assert that
+    // deterministically observed difference (stable forever, since the
+    // hash is pinned).
+    bool differs = false;
+    for (int attempt = 1; attempt <= 8; ++attempt)
+        if (backoffDelayMs(p, "job-a", attempt) !=
+            backoffDelayMs(p, "job-b", attempt))
+            differs = true;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Backoff, SeedsDecorrelateTheSchedule)
+{
+    BackoffPolicy a;
+    a.seed = 1;
+    BackoffPolicy b = a;
+    b.seed = 2;
+    bool differs = false;
+    for (int attempt = 1; attempt <= 8; ++attempt)
+        if (backoffDelayMs(a, "job", attempt) !=
+            backoffDelayMs(b, "job", attempt))
+            differs = true;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Backoff, NonPositiveBaseDisables)
+{
+    BackoffPolicy p;
+    p.baseMs = 0.0;
+    EXPECT_EQ(0.0, backoffDelayMs(p, "k", 1));
+    p.baseMs = -5.0;
+    EXPECT_EQ(0.0, backoffDelayMs(p, "k", 3));
+}
+
+TEST(Backoff, NonPositiveAttemptIsZero)
+{
+    BackoffPolicy p;
+    EXPECT_EQ(0.0, backoffDelayMs(p, "k", 0));
+    EXPECT_EQ(0.0, backoffDelayMs(p, "k", -1));
+}
