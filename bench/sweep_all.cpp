@@ -17,6 +17,7 @@
  *   ./build/bench/sweep_all --no-paper --trace my.ufctrace --retries 1
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -136,6 +137,17 @@ usage(const char *argv0)
         "  --lint            static-analysis pre-flight on every job's\n"
         "                    trace (RunOptions::lintTraces); a trace\n"
         "                    with lint errors fails its job only\n"
+        "  --dataflow        abstract-interpretation pre-flight on every\n"
+        "                    job (RunOptions::dataflowLint): trace-level\n"
+        "                    df-* rules plus the program-level rules on\n"
+        "                    the compiled bytecode; results of passing\n"
+        "                    jobs are bit-identical to a lint-off run\n"
+        "  --bounds          static cost-bound gate per job\n"
+        "                    (RunOptions::boundsCheck): every job must\n"
+        "                    satisfy static_lower <= dynamic <=\n"
+        "                    static_upper on cycles and HBM bytes; the\n"
+        "                    per-job bound ratios are printed after the\n"
+        "                    sweep (incompatible with --ir)\n"
         "  --compare-serial  run parallel then serial, verify identical\n"
         "                    results, report the speedup\n"
         "  --ir              execute every job on the legacy trace-IR\n"
@@ -173,6 +185,8 @@ try {
     std::vector<std::string> userTraces;
     u64 maxCycles = 0;
     bool lint = false;
+    bool dataflow = false;
+    bool bounds = false;
     bool noPaper = false;
     bool compareSerial = false;
     bool useIr = false;
@@ -217,6 +231,10 @@ try {
             maxCycles = std::strtoull(value(), nullptr, 10);
         else if (arg == "--lint")
             lint = true;
+        else if (arg == "--dataflow")
+            dataflow = true;
+        else if (arg == "--bounds")
+            bounds = true;
         else if (arg == "--compare-serial")
             compareSerial = true;
         else if (arg == "--ir")
@@ -291,6 +309,18 @@ try {
     if (lint)
         for (auto &job : jobs)
             job.options.lintTraces = true;
+    if (dataflow)
+        for (auto &job : jobs)
+            job.options.dataflowLint = true;
+    if (bounds) {
+        if (useIr) {
+            std::fprintf(stderr, "--bounds and --ir are exclusive (no "
+                                 "Program to bound on the IR path)\n");
+            return 2;
+        }
+        for (auto &job : jobs)
+            job.options.boundsCheck = true;
+    }
     if (useIr && compareIr) {
         std::fprintf(stderr, "--ir and --compare-ir are exclusive\n");
         return 2;
@@ -361,6 +391,35 @@ try {
                                       static_cast<double>(lookups)
                                 : 0.0,
                     static_cast<unsigned long long>(entries));
+    }
+
+    if (bounds) {
+        // Per-job static-bound audit: every checked job already passed
+        // static_lower <= dynamic <= static_upper (a violation fails
+        // the job), so this table reports how tight the bounds are.
+        std::printf("static cost bounds (dynamic position inside "
+                    "[lower, upper]):\n");
+        double worstCycles = 0.0;
+        double worstHbm = 0.0;
+        std::size_t checked = 0;
+        for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+            const auto &oc = batch.outcomes[i];
+            if (!oc.ok() || !oc.boundsChecked)
+                continue;
+            ++checked;
+            const double cr = oc.cyclesLower > 0.0
+                                  ? oc.cyclesUpper / oc.cyclesLower
+                                  : 0.0;
+            const double hr =
+                oc.hbmLower > 0.0 ? oc.hbmUpper / oc.hbmLower : 0.0;
+            worstCycles = std::max(worstCycles, cr);
+            worstHbm = std::max(worstHbm, hr);
+            std::printf("  %-44s cycles x%-7.3f hbm x%.3f\n",
+                        batch.results[i].label.c_str(), cr, hr);
+        }
+        std::printf("bounds held on %zu/%zu checked job(s); worst "
+                    "upper/lower ratio: cycles x%.3f, hbm x%.3f\n",
+                    checked, checked, worstCycles, worstHbm);
     }
 
     const bool interrupted = batch.interrupted();

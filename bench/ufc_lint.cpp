@@ -7,12 +7,18 @@
  * trace-level passes (scheme legality, limb-chain consistency, phase
  * discipline, batched-op field validity, working-set feasibility) plus —
  * unless --trace-only — a verifying lowering that checks per-instruction
- * operand invariants on the compiler's actual output.
+ * operand invariants on the compiler's actual output.  --dataflow adds
+ * the abstract-interpretation rules (level-flow and rescale-discipline
+ * domains over the trace, replay-purity and scratchpad def-use/liveness
+ * over the compiled bytecode); --bounds prints the static cycle/HBM
+ * cost bounds per subject (see analysis/cost_bounds.h).
  *
  *   ./build/bench/ufc_lint trace.ufctrace
- *   ./build/bench/ufc_lint --builtins --Werror     # CI gate
+ *   ./build/bench/ufc_lint --builtins --Werror           # CI gate
+ *   ./build/bench/ufc_lint --dataflow --builtins --Werror
+ *   ./build/bench/ufc_lint --dataflow --sarif lint.sarif --builtins
  *   ./build/bench/ufc_lint --json a.ufctrace b.ufctrace
- *   ./build/bench/ufc_lint --rules                 # registry table
+ *   ./build/bench/ufc_lint --rules                       # registry table
  *
  * Exit codes follow the repo's CLI conventions: 0 = clean, 1 = findings
  * (errors, or warnings under --Werror) or a typed error (unreadable /
@@ -20,12 +26,18 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/cost_bounds.h"
+#include "analysis/domains.h"
+#include "analysis/sarif.h"
 #include "common/error.h"
+#include "compiler/bytecode.h"
 #include "compiler/lowering.h"
+#include "sim/ufc_perf.h"
 #include "trace/serialize.h"
 #include "workloads/workloads.h"
 
@@ -41,6 +53,9 @@ usage(const char *argv0)
         "  TRACE_FILE      traces saved in the ufctrace format\n"
         "  --builtins      also lint every built-in workload generator\n"
         "  --trace-only    skip the instruction-level verifying lowering\n"
+        "  --dataflow      run the abstract-interpretation rules (df-*)\n"
+        "  --bounds        print static cycle/HBM cost bounds per subject\n"
+        "  --sarif PATH    write all findings as one SARIF 2.1.0 log\n"
         "  --Werror        treat warnings as findings (exit 1)\n"
         "  --json          machine-readable report per subject\n"
         "  --quiet         suppress per-subject ok lines\n"
@@ -70,8 +85,11 @@ int
 main(int argc, char **argv)
 try {
     std::vector<std::string> files;
+    std::string sarifPath;
     bool builtins = false;
     bool traceOnly = false;
+    bool dataflow = false;
+    bool bounds = false;
     bool wError = false;
     bool asJson = false;
     bool quiet = false;
@@ -82,7 +100,18 @@ try {
             builtins = true;
         else if (arg == "--trace-only")
             traceOnly = true;
-        else if (arg == "--Werror")
+        else if (arg == "--dataflow")
+            dataflow = true;
+        else if (arg == "--bounds")
+            bounds = true;
+        else if (arg == "--sarif") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--sarif needs a PATH\n");
+                usage(argv[0]);
+                return 2;
+            }
+            sarifPath = argv[++i];
+        } else if (arg == "--Werror")
             wError = true;
         else if (arg == "--json")
             asJson = true;
@@ -108,6 +137,12 @@ try {
         usage(argv[0]);
         return 2;
     }
+    if (bounds && traceOnly) {
+        std::fprintf(stderr,
+                     "--bounds needs the lowering (drop --trace-only)\n");
+        usage(argv[0]);
+        return 2;
+    }
 
     std::vector<Subject> subjects;
     for (const auto &path : files)
@@ -128,23 +163,70 @@ try {
 
     const analysis::Analyzer linter;
     const compiler::LoweringOptions lowerOpts; // machine-default knobs
+    std::vector<analysis::SarifSubject> sarifLog;
     std::size_t errors = 0;
     std::size_t warnings = 0;
     for (const auto &subject : subjects) {
-        const analysis::DiagnosticReport rep =
-            traceOnly ? linter.analyze(subject.tr)
-                      : linter.analyzeLowered(subject.tr, lowerOpts);
+        analysis::DiagnosticReport rep;
+        if (traceOnly) {
+            rep = dataflow ? linter.analyzeDataflow(subject.tr)
+                           : linter.analyze(subject.tr);
+        } else if (!dataflow && !bounds) {
+            rep = linter.analyzeLowered(subject.tr, lowerOpts);
+        } else {
+            // The dataflow/bounds paths need the compiled Program in
+            // hand, so run the verifying lowering here instead of
+            // inside analyzeLowered() and reuse the bytecode for the
+            // program-level rules and the cost bounds.
+            rep = dataflow ? linter.analyzeDataflow(subject.tr)
+                           : linter.analyze(subject.tr);
+            if (rep.errorCount() == 0) {
+                analysis::DiagnosticReport lowered;
+                const sim::UfcPerf perf{sim::UfcConfig::tableII()};
+                const compiler::Program program = compiler::compileTrace(
+                    subject.tr, lowerOpts, perf, "UFC", &lowered);
+                compiler::verifyProgram(program, lowered);
+                rep.merge(lowered);
+                if (dataflow && rep.errorCount() == 0)
+                    analysis::runProgramDataflow(program, rep);
+                if (bounds) {
+                    const analysis::CostBounds cb =
+                        analysis::analyzeCostBounds(program);
+                    std::printf(
+                        "%s: cycles [%.0f, %.0f] ratio %.3f | "
+                        "hbm [%.0f, %.0f] B ratio %.3f | "
+                        "peak spad %.0f B%s\n",
+                        subject.label.c_str(), cb.cyclesLower,
+                        cb.cyclesUpper, cb.cyclesRatio(), cb.hbmLower,
+                        cb.hbmUpper, cb.hbmRatio(), cb.peakLiveSlotBytes,
+                        cb.fits ? "" : " (exceeds scratchpad)");
+                }
+            }
+        }
         errors += rep.errorCount();
         warnings += rep.warningCount();
+        if (!sarifPath.empty())
+            sarifLog.push_back(
+                analysis::SarifSubject{subject.label, rep});
         if (asJson) {
             std::printf("%s\n", rep.toJson(subject.label).c_str());
         } else if (!rep.empty()) {
             std::printf("%s:\n", subject.label.c_str());
             for (const auto &d : rep.diagnostics())
                 std::printf("  %s\n", d.format().c_str());
-        } else if (!quiet) {
+        } else if (!quiet && !bounds) {
             std::printf("%s: ok\n", subject.label.c_str());
         }
+    }
+
+    if (!sarifPath.empty()) {
+        std::ofstream os(sarifPath, std::ios::binary);
+        UFC_EXPECT(os.good(), ConfigError,
+                   "--sarif: cannot open '" << sarifPath
+                                            << "' for writing");
+        os << analysis::toSarif(sarifLog);
+        UFC_EXPECT(os.good(), ConfigError,
+                   "--sarif: write to '" << sarifPath << "' failed");
     }
 
     if (!quiet && !asJson)

@@ -19,6 +19,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/domains.h"
 #include "analysis/verifying_sink.h"
 #include "compiler/bytecode.h"
 #include "compiler/lowering.h"
@@ -100,6 +101,34 @@ ruleRegistry()
         {"bc-loop-invariant", Severity::Error,
          "folded repeat loop is degenerate, out of bounds, overlapping, "
          "scratchpad-dependent, or contains a phase marker"},
+        // Dataflow rules (opt-in: analyzeDataflow / ufc_lint --dataflow).
+        {"df-chain-underflow", Severity::Error,
+         "op at a modulus-chain level no rescale/mod-raise/repack path "
+         "can reach from fresh ciphertexts"},
+        {"df-double-rescale", Severity::Warning,
+         "rescale with no outstanding product at its level "
+         "(linear-consumption heuristic)"},
+        {"df-missed-rescale", Severity::Warning,
+         "multiplication short of rescaled operands while unrescaled "
+         "products wait at its level (linear-consumption heuristic)"},
+        {"df-scale-mismatch", Severity::Warning,
+         "ciphertext add at a level whose rescaled-value and product "
+         "supplies are both exhausted (linear-consumption heuristic)"},
+        {"df-fuse-memdep", Severity::Error,
+         "fused run carries a scratchpad operand record (re-proved from "
+         "BcBuf records, independent of the fusion pass's kind tags)"},
+        {"df-loop-memdep", Severity::Error,
+         "folded loop body carries a scratchpad operand record "
+         "(re-proved from BcBuf records)"},
+        {"df-slot-use-before-def", Severity::Warning,
+         "scratchpad slot read before the program first writes it "
+         "(consumer scheduled before its producer)"},
+        {"df-slot-dead-store", Severity::Warning,
+         "scratchpad slot written and then overwritten with no "
+         "intervening read"},
+        {"df-spad-overcommit", Severity::Warning,
+         "one instruction's distinct-slot operand bytes exceed the "
+         "scratchpad (its operands cannot co-reside)"},
     };
     return kRules;
 }
@@ -451,6 +480,7 @@ Analyzer::Analyzer()
     passes_.push_back(std::make_unique<LimbChainPass>());
     passes_.push_back(std::make_unique<PhaseDisciplinePass>());
     passes_.push_back(std::make_unique<WorkingSetPass>());
+    dfPasses_ = makeDataflowPasses();
 }
 
 DiagnosticReport
@@ -485,6 +515,42 @@ Analyzer::analyzeLowered(const Trace &tr,
         compiler::compileTrace(tr, opts, perf, "UFC", &lowered);
     compiler::verifyProgram(program, lowered);
     out.merge(lowered);
+    return out;
+}
+
+DiagnosticReport
+Analyzer::analyzeLowered(const Trace &tr,
+                         const compiler::Program &program) const
+{
+    DiagnosticReport out = analyze(tr);
+    if (out.errorCount() > 0)
+        return out;
+    compiler::verifyProgram(program, out);
+    return out;
+}
+
+DiagnosticReport
+Analyzer::analyzeDataflow(const Trace &tr) const
+{
+    DiagnosticReport out = analyze(tr);
+    // The abstract domains index state by the declared level budget and
+    // trust op.limbs; a trace with base errors would feed them garbage.
+    if (out.errorCount() > 0)
+        return out;
+    for (const auto &pass : dfPasses_)
+        pass->run(tr, out);
+    return out;
+}
+
+DiagnosticReport
+Analyzer::analyzeDataflow(const Trace &tr,
+                          const compiler::Program &program) const
+{
+    DiagnosticReport out = analyzeDataflow(tr);
+    if (out.errorCount() > 0)
+        return out;
+    compiler::verifyProgram(program, out);
+    runProgramDataflow(program, out);
     return out;
 }
 

@@ -31,6 +31,7 @@
 namespace ufc {
 namespace compiler {
 struct LoweringOptions; // compiler/lowering.h
+struct Program;         // compiler/bytecode.h
 } // namespace compiler
 
 namespace analysis {
@@ -97,13 +98,52 @@ class Analyzer
     analyzeLowered(const trace::Trace &tr,
                    const compiler::LoweringOptions &opts) const;
 
+    /**
+     * Bytecode-rule variant over an ALREADY-compiled Program: the
+     * trace-level passes plus compiler::verifyProgram on `program`,
+     * with no re-lowering — the pre-flight path for runs whose Program
+     * sits in the runner's ProgramCache.  Unlike the LoweringOptions
+     * overload this cannot run the instruction-level VerifyingSink
+     * rules (they need a live lowering); the bytecode rules subsume
+     * the fusion/loop legality checks.
+     */
+    DiagnosticReport
+    analyzeLowered(const trace::Trace &tr,
+                   const compiler::Program &program) const;
+
+    /**
+     * Trace-level passes plus the opt-in dataflow passes (level-flow,
+     * rescale-discipline; see domains.h).  The dataflow passes only
+     * run when the base report is error-free — a trace that fails
+     * scheme legality or limb-range would feed garbage levels into the
+     * abstract domains.
+     */
+    DiagnosticReport analyzeDataflow(const trace::Trace &tr) const;
+
+    /**
+     * Full dataflow verification of a compiled trace: analyzeDataflow
+     * plus the bytecode rules (verifyProgram) plus the program-level
+     * dataflow rules (df-fuse-memdep, df-loop-memdep, df-slot-*) over
+     * `program`.  No re-lowering.
+     */
+    DiagnosticReport
+    analyzeDataflow(const trace::Trace &tr,
+                    const compiler::Program &program) const;
+
     const std::vector<std::unique_ptr<Pass>> &passes() const
     {
         return passes_;
     }
 
+    /** The opt-in dataflow passes (makeDataflowPasses()). */
+    const std::vector<std::unique_ptr<Pass>> &dataflowPasses() const
+    {
+        return dfPasses_;
+    }
+
   private:
     std::vector<std::unique_ptr<Pass>> passes_;
+    std::vector<std::unique_ptr<Pass>> dfPasses_;
 };
 
 } // namespace analysis

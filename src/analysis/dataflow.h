@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Dataflow framework for ufc-lint: CFG recovery and a worklist fixpoint
+ * engine shared by the abstract-interpretation passes (domains.h) and
+ * the static cost analyzer (cost_bounds.h).
+ *
+ * Two IRs feed the framework:
+ *   - the trace IR (trace::Trace): a straight-line op stream whose only
+ *     structure is the phase-marker nesting, so its CFG is a loop-free
+ *     chain of blocks split at phase boundaries;
+ *   - compiled bytecode (compiler::Program): straight-line code plus the
+ *     folded BcLoop table, so its CFG carries one back edge per loop
+ *     (the body block repeats `trips` times before falling through).
+ *
+ * The solvers are classic monotone-framework worklist iterations: a
+ * caller supplies the entry state, a meet/join that accumulates a
+ * predecessor's out-state into a block's in-state (returning whether
+ * anything changed), and a transfer function mapping a block's in-state
+ * to its out-state.  For the loop-free trace CFG one pass converges;
+ * for Program CFGs the self edges of loop bodies iterate to a fixpoint.
+ * Passes then make a final reporting sweep over the converged block-in
+ * states so diagnostics are emitted exactly once.
+ */
+
+#ifndef UFC_ANALYSIS_DATAFLOW_H
+#define UFC_ANALYSIS_DATAFLOW_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace ufc {
+namespace trace {
+struct Trace; // trace/trace.h
+} // namespace trace
+namespace compiler {
+struct Program; // compiler/bytecode.h
+} // namespace compiler
+
+namespace analysis {
+
+/** One basic block: the half-open index range [begin, end) over trace
+ *  ops or Program instructions. */
+struct CfgBlock
+{
+    u64 begin = 0;
+    u64 end = 0;
+    /// Innermost open phase at `begin`; indexes Cfg::phaseNames, -1 when
+    /// outside any phase region.
+    i32 phase = -1;
+    /// Number of back-to-back executions of this block (folded BcLoop
+    /// body); 1 for straight-line blocks.  Blocks with trips > 1 carry a
+    /// self edge in succs/preds.
+    u64 trips = 1;
+    std::vector<u32> succs;
+    std::vector<u32> preds;
+
+    bool isLoop() const { return trips > 1; }
+};
+
+/** A recovered control-flow graph.  Blocks are stored in program order,
+ *  which is also a reverse postorder for these reducible graphs (the
+ *  only back edges are loop self edges). */
+struct Cfg
+{
+    std::vector<CfgBlock> blocks;
+    /// Phase-name table the blocks' `phase` indexes point into (owned).
+    std::vector<std::string> phaseNames;
+
+    u64
+    totalUnits() const
+    {
+        u64 n = 0;
+        for (const CfgBlock &b : blocks)
+            n += (b.end - b.begin) * b.trips;
+        return n;
+    }
+};
+
+/** CFG over a trace's op stream: loop-free blocks split at every phase
+ *  begin/end marker, chained by fallthrough edges. */
+Cfg cfgFromTrace(const trace::Trace &tr);
+
+/** CFG over a compiled Program's instruction stream: blocks split at
+ *  phase events and at folded-loop boundaries; each BcLoop body becomes
+ *  one block with a self back edge and `trips` recorded.  Composed
+ *  Programs (parts) are rejected with ConfigError — recover a CFG per
+ *  part instead. */
+Cfg cfgFromProgram(const compiler::Program &p);
+
+/**
+ * Forward worklist fixpoint.  `meet(into, from)` accumulates `from`
+ * into `into` and returns true when `into` changed; `transfer(block,
+ * in)` returns the block's out-state.  Returns the converged *in*-state
+ * of every block; block 0 starts from `entry`, every other block from
+ * `bottom` (the meet identity — meet(x, bottom-derived) must only grow
+ * x toward the fixpoint).  Every block is visited at least once.
+ *
+ * Termination is the caller's contract (finite-height domain, monotone
+ * transfer); a generous visit cap turns a non-monotone domain bug into
+ * a typed SimError instead of a hang.
+ */
+template <class State, class Meet, class Transfer>
+std::vector<State>
+solveForward(const Cfg &cfg, const State &entry, const State &bottom,
+             Meet meet, Transfer transfer)
+{
+    const std::size_t n = cfg.blocks.size();
+    std::vector<State> in(n, bottom);
+    if (n == 0)
+        return in;
+    in[0] = entry;
+    std::vector<char> queued(n, 1);
+    std::vector<u32> worklist;
+    // Seed every block, program order on top of the LIFO stack so the
+    // first sweep follows the fallthrough chain.
+    for (std::size_t b = n; b-- > 0;)
+        worklist.push_back(static_cast<u32>(b));
+    const u64 cap = 64 * static_cast<u64>(n) + 64;
+    u64 visits = 0;
+    while (!worklist.empty()) {
+        UFC_EXPECT(++visits <= cap, SimError,
+                   "dataflow fixpoint did not converge after "
+                       << cap << " block visits (non-monotone domain?)");
+        const u32 b = worklist.back();
+        worklist.pop_back();
+        queued[b] = 0;
+        const State out = transfer(b, in[b]);
+        for (const u32 s : cfg.blocks[b].succs) {
+            if (meet(in[s], out) && !queued[s]) {
+                queued[s] = 1;
+                worklist.push_back(s);
+            }
+        }
+    }
+    return in;
+}
+
+/**
+ * Backward worklist fixpoint: the mirror of solveForward().  Returns
+ * the converged *out*-state of every block (the state holding just
+ * after the block's last unit); the last block starts from `exit`,
+ * every other block from `bottom`.  Every block is visited at least
+ * once.
+ */
+template <class State, class Meet, class Transfer>
+std::vector<State>
+solveBackward(const Cfg &cfg, const State &exit, const State &bottom,
+              Meet meet, Transfer transfer)
+{
+    const std::size_t n = cfg.blocks.size();
+    std::vector<State> out(n, bottom);
+    if (n == 0)
+        return out;
+    out[n - 1] = exit;
+    std::vector<char> queued(n, 1);
+    std::vector<u32> worklist;
+    // Seed every block, reverse program order on top so the first sweep
+    // walks the chain backwards.
+    for (std::size_t b = 0; b < n; ++b)
+        worklist.push_back(static_cast<u32>(b));
+    const u64 cap = 64 * static_cast<u64>(n) + 64;
+    u64 visits = 0;
+    while (!worklist.empty()) {
+        UFC_EXPECT(++visits <= cap, SimError,
+                   "dataflow fixpoint did not converge after "
+                       << cap << " block visits (non-monotone domain?)");
+        const u32 b = worklist.back();
+        worklist.pop_back();
+        queued[b] = 0;
+        const State newIn = transfer(b, out[b]);
+        for (const u32 p : cfg.blocks[b].preds) {
+            if (meet(out[p], newIn) && !queued[p]) {
+                queued[p] = 1;
+                worklist.push_back(p);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace analysis
+} // namespace ufc
+
+#endif // UFC_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SARIF 2.1.0 emitter (see sarif.h).
+ */
+
+#include "analysis/sarif.h"
+
+#include <sstream>
+
+#include "analysis/analyzer.h"
+#include "common/json.h"
+
+namespace ufc {
+namespace analysis {
+
+namespace {
+
+const char *
+sarifLevel(Severity severity)
+{
+    return severity == Severity::Error ? "error" : "warning";
+}
+
+} // namespace
+
+std::string
+toSarif(const std::vector<SarifSubject> &subjects)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json"
+          "\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [\n"
+       << "    {\n"
+       << "      \"tool\": {\n"
+       << "        \"driver\": {\n"
+       << "          \"name\": \"ufc-lint\",\n"
+       << "          \"informationUri\": "
+          "\"https://github.com/ufc/ufc\",\n"
+       << "          \"rules\": [\n";
+    const auto &rules = ruleRegistry();
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+        os << "            {\"id\": " << json::quote(rules[r].id)
+           << ", \"shortDescription\": {\"text\": "
+           << json::quote(rules[r].description)
+           << "}, \"defaultConfiguration\": {\"level\": \""
+           << sarifLevel(rules[r].severity) << "\"}}"
+           << (r + 1 < rules.size() ? "," : "") << "\n";
+    }
+    os << "          ]\n"
+       << "        }\n"
+       << "      },\n"
+       << "      \"results\": [\n";
+    bool firstResult = true;
+    for (const SarifSubject &subject : subjects) {
+        for (const Diagnostic &d : subject.report.diagnostics()) {
+            if (!firstResult)
+                os << ",\n";
+            firstResult = false;
+            std::ostringstream loc;
+            loc << subject.name;
+            if (d.opIndex >= 0)
+                loc << ":op#" << d.opIndex;
+            if (!d.phase.empty())
+                loc << " (" << d.phase << ")";
+            os << "        {\"ruleId\": " << json::quote(d.rule)
+               << ", \"level\": \"" << sarifLevel(d.severity)
+               << "\", \"message\": {\"text\": " << json::quote(d.message)
+               << "}, \"locations\": [{\"logicalLocations\": "
+                  "[{\"fullyQualifiedName\": "
+               << json::quote(loc.str()) << "}]}]}";
+        }
+    }
+    if (!firstResult)
+        os << "\n";
+    os << "      ]\n"
+       << "    }\n"
+       << "  ]\n"
+       << "}\n";
+    return os.str();
+}
+
+} // namespace analysis
+} // namespace ufc

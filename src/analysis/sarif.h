@@ -1,0 +1,41 @@
+/**
+ * @file
+ * SARIF 2.1.0 export for ufc-lint findings.
+ *
+ * SARIF (Static Analysis Results Interchange Format) is what code
+ * hosting and CI systems ingest for inline annotation; `ufc_lint
+ * --sarif PATH` writes one log aggregating every linted subject, and
+ * the CI dataflow job uploads it as a workflow artifact.  The emitter
+ * stays minimal-but-valid: one run, the full ruleRegistry() as the
+ * tool's rule table (so ruleIndex resolves), and one result per
+ * Diagnostic with a logical location naming the subject and op/
+ * instruction index (the trace IR has no physical files to point at).
+ */
+
+#ifndef UFC_ANALYSIS_SARIF_H
+#define UFC_ANALYSIS_SARIF_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+
+namespace ufc {
+namespace analysis {
+
+/** One linted subject (a trace file or builtin workload) and its
+ *  findings. */
+struct SarifSubject
+{
+    std::string name;
+    DiagnosticReport report;
+};
+
+/** Render the subjects as one SARIF 2.1.0 log (a complete JSON
+ *  document, newline-terminated). */
+std::string toSarif(const std::vector<SarifSubject> &subjects);
+
+} // namespace analysis
+} // namespace ufc
+
+#endif // UFC_ANALYSIS_SARIF_H

@@ -668,6 +668,30 @@ compileTraceStream(std::istream &is, const LoweringOptions &opts,
     return p;
 }
 
+std::vector<SlotAccess>
+slotAccesses(const Program &p)
+{
+    UFC_EXPECT(!p.composed(), ConfigError,
+               "slotAccesses: composed Program '"
+                   << p.workload
+                   << "' has no single scratchpad; export each part");
+    std::vector<SlotAccess> out;
+    for (u64 i = 0; i < p.code.size(); ++i) {
+        const BcInst &inst = p.code[i];
+        if (inst.kind != BcKind::Mem)
+            continue;
+        const u64 end = static_cast<u64>(inst.bufBegin) + inst.bufCount;
+        for (u64 b = inst.bufBegin; b < end && b < p.bufs.size(); ++b) {
+            const BcBuf &buf = p.bufs[b];
+            if (buf.slot == BcBuf::kNoSlot || buf.streamed)
+                continue;
+            out.push_back(
+                SlotAccess{i, buf.slot, buf.id, buf.bytes, buf.write});
+        }
+    }
+    return out;
+}
+
 namespace {
 
 void

@@ -291,6 +291,34 @@ struct Program
 };
 
 /**
+ * One scratchpad-slot touch in a Program's def-use stream (see
+ * slotAccesses()).  `inst` indexes Program::code; `write` mirrors the
+ * BcBuf flag (a write access *defines* the slot's contents, a read
+ * access *uses* them).  `id` is the lowering's buffer id — value-flow
+ * analyses must check compiler::syntheticCiphertextId(id) before
+ * treating the slot as a value (ciphertext-pool ids model locality
+ * only); traffic analyses may use every access.
+ */
+struct SlotAccess
+{
+    u64 inst = 0;
+    u32 slot = 0;
+    u64 id = 0;
+    double bytes = 0.0;
+    bool write = false;
+};
+
+/**
+ * Def-use export for the dataflow layer: every cached (scratchpad)
+ * operand reference of a single-chip Program, in execution order —
+ * program order over instructions, operand order within one — which is
+ * exactly the order the engine's LRU walks them.  Streamed operands
+ * never touch a slot and are omitted.  Composed Programs are rejected
+ * with ConfigError; export each part instead.
+ */
+std::vector<SlotAccess> slotAccesses(const Program &p);
+
+/**
  * InstSink that builds a Program: the bytecode emitter plugs into the
  * same Lowering pipeline as the analysis::VerifyingSink, so `--lint`
  * verification and JIT lowering compose in one pass over the instruction

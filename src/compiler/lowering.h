@@ -66,6 +66,31 @@ struct LoweringOptions
 };
 
 /**
+ * Buffer-id namespaces the lowering hands to the scratchpad model.
+ * Each operand class owns a disjoint 2^40-wide range so analyses can
+ * classify a buffer from its id alone.
+ */
+inline constexpr u64 kCtBase = 1ULL << 40;  ///< ciphertext pool
+inline constexpr u64 kEvkBase = 2ULL << 40; ///< relinearization keys
+inline constexpr u64 kGkBase = 3ULL << 40;  ///< Galois (rotation) keys
+inline constexpr u64 kBtkBase = 4ULL << 40; ///< TFHE bootstrap keys
+inline constexpr u64 kKskBase = 5ULL << 40; ///< key-switch keys
+inline constexpr u64 kPtBase = 6ULL << 40;  ///< plaintext operands
+
+/**
+ * True when `id` names a buffer from the lowering's rolling ciphertext
+ * pool.  Ids there are drawn pseudorandomly over the trace-declared
+ * live set to model reuse *locality* (see Lowering::ctBuffer), so they
+ * carry no value identity: def-use conclusions must not be drawn from
+ * them.  Key and plaintext ids are deterministic and value-accurate.
+ */
+inline constexpr bool
+syntheticCiphertextId(u64 id)
+{
+    return id >= kCtBase && id < kEvkBase;
+}
+
+/**
  * Lowers a trace to an instruction stream, tracking buffer identities so
  * the scratchpad model sees a realistic working set.
  *
@@ -177,13 +202,6 @@ class Lowering
     u64 nextCt_ = 0;
     u64 nextPt_ = 0;
 
-    // Buffer id namespaces.
-    static constexpr u64 kCtBase = 1ULL << 40;
-    static constexpr u64 kEvkBase = 2ULL << 40;
-    static constexpr u64 kGkBase = 3ULL << 40;
-    static constexpr u64 kBtkBase = 4ULL << 40;
-    static constexpr u64 kKskBase = 5ULL << 40;
-    static constexpr u64 kPtBase = 6ULL << 40;
 };
 
 } // namespace compiler

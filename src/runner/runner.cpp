@@ -26,7 +26,10 @@
 #include <thread>
 
 #include "analysis/analyzer.h"
+#include "analysis/cost_bounds.h"
+#include "analysis/domains.h"
 #include "common/error.h"
+#include "compiler/bytecode.h"
 #include "common/parallel.h"
 #include "common/prof.h"
 #include "metrics/flight_recorder.h"
@@ -314,10 +317,11 @@ ExperimentRunner::runOne(const Job &job, std::size_t index,
             // passes only — instruction-level verification depends on
             // the model's lowering options, and ufc_lint covers it
             // offline.
-            if (job.options.lintTraces) {
+            if (job.options.lintTraces || job.options.dataflowLint) {
                 static const analysis::Analyzer linter;
                 const analysis::DiagnosticReport rep =
-                    linter.analyze(*tr);
+                    job.options.dataflowLint ? linter.analyzeDataflow(*tr)
+                                             : linter.analyze(*tr);
                 if (const analysis::Diagnostic *first =
                         rep.firstError()) {
                     throw TraceError(
@@ -345,11 +349,68 @@ ExperimentRunner::runOne(const Job &job, std::size_t index,
                             cfg_.jobTimeoutSeconds));
 
             const auto t0 = std::chrono::steady_clock::now();
-            if (cache && opts.execMode == sim::ExecMode::Bytecode) {
-                // Compile-once path: sibling jobs over the same
-                // (model, trace) pair share the compiled Program.
-                const auto program = cache->get(*job.model, *tr);
+            // Bytecode jobs that need the compiled Program in hand
+            // (batch compile sharing, the program-level dataflow rules,
+            // the static cost-bound gate) take the explicit
+            // compile+execute path; for Bytecode mode run() IS
+            // execute(compile()), so results are bit-identical.
+            const bool wantProgram =
+                opts.execMode == sim::ExecMode::Bytecode &&
+                (cache != nullptr || job.options.dataflowLint ||
+                 job.options.boundsCheck);
+            if (wantProgram) {
+                std::shared_ptr<const compiler::Program> program;
+                if (cache) {
+                    // Compile-once path: sibling jobs over the same
+                    // (model, trace) pair share the compiled Program.
+                    program = cache->get(*job.model, *tr);
+                } else {
+                    program = std::make_shared<const compiler::Program>(
+                        job.model->compile(*tr));
+                }
+                if (job.options.dataflowLint) {
+                    // Program-level rules on the cached bytecode (the
+                    // trace-level dataflow passes already ran in the
+                    // pre-flight above — no re-lowering).
+                    analysis::DiagnosticReport rep;
+                    compiler::verifyProgram(*program, rep);
+                    analysis::runProgramDataflow(*program, rep);
+                    if (const analysis::Diagnostic *first =
+                            rep.firstError()) {
+                        throw TraceError(
+                            "dataflow lint failed for program '" +
+                            program->workload + "' (" +
+                            std::to_string(rep.errorCount()) +
+                            " error(s)): " + first->format());
+                    }
+                }
+                analysis::CostBounds bounds;
+                if (job.options.boundsCheck)
+                    bounds = analysis::analyzeCostBounds(*program);
                 result = job.model->execute(*program, opts);
+                if (job.options.boundsCheck) {
+                    outcome.boundsChecked = true;
+                    outcome.cyclesLower = bounds.cyclesLower;
+                    outcome.cyclesUpper = bounds.cyclesUpper;
+                    outcome.hbmLower = bounds.hbmLower;
+                    outcome.hbmUpper = bounds.hbmUpper;
+                    const double cycles = result.stats.totalCycles;
+                    const double hbm = result.stats.hbmBytes;
+                    UFC_EXPECT(cycles >= bounds.cyclesLower &&
+                                   cycles <= bounds.cyclesUpper,
+                               SimError,
+                               "static cycle bound violated for '"
+                                   << label << "': dynamic " << cycles
+                                   << " outside [" << bounds.cyclesLower
+                                   << ", " << bounds.cyclesUpper << "]");
+                    UFC_EXPECT(hbm >= bounds.hbmLower &&
+                                   hbm <= bounds.hbmUpper,
+                               SimError,
+                               "static HBM bound violated for '"
+                                   << label << "': dynamic " << hbm
+                                   << " outside [" << bounds.hbmLower
+                                   << ", " << bounds.hbmUpper << "]");
+                }
             } else {
                 result = job.model->run(*tr, opts);
             }

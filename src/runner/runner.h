@@ -235,6 +235,16 @@ struct JobOutcome
     /// entries appear too, which is exactly the post-mortem context a
     /// failure in a 100-job sweep needs.
     std::vector<std::string> recentEvents;
+    /// Static cost-bound audit (RunOptions::boundsCheck).  Host-side
+    /// only — never serialized into RunResult, so reports stay
+    /// bit-identical with the gate on or off.  When boundsChecked is
+    /// true the bounds below were computed before execution; a
+    /// violation fails the job (SimError) with the fields still filled.
+    bool boundsChecked = false;
+    double cyclesLower = 0.0; ///< guaranteed min total cycles
+    double cyclesUpper = 0.0; ///< guaranteed max total cycles
+    double hbmLower = 0.0;    ///< guaranteed min HBM bytes
+    double hbmUpper = 0.0;    ///< guaranteed max HBM bytes
 
     /// Did the job produce a valid result?
     bool

@@ -28,6 +28,10 @@ validateRunOptions(const RunOptions &opts)
     UFC_EXPECT(opts.prefetchWindow <= (1 << 20), ConfigError,
                "RunOptions.prefetchWindow is absurdly large: "
                    << opts.prefetchWindow);
+    UFC_EXPECT(!(opts.boundsCheck && opts.execMode == ExecMode::TraceIr),
+               ConfigError,
+               "RunOptions.boundsCheck needs a compiled Program to "
+               "bound; it is incompatible with ExecMode::TraceIr");
 }
 
 namespace {

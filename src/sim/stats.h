@@ -127,6 +127,21 @@ struct RunOptions
     /// carrying the first diagnostic if any Error-severity finding
     /// exists.  Per-job isolation applies: other jobs are unaffected.
     bool lintTraces = false;
+    /// Opt-in dataflow pre-flight: like lintTraces but running the full
+    /// abstract-interpretation layer (analysis::Analyzer::
+    /// analyzeDataflow over the trace AND the compiled Program's df-*
+    /// program rules).  Bytecode jobs reuse the batch's cached Program
+    /// for the program-level rules, so the pre-flight adds no second
+    /// lowering.  Never changes a passing run's results.
+    bool dataflowLint = false;
+    /// Opt-in static cost-bound gate: the experiment runner computes
+    /// analysis::analyzeCostBounds on the compiled Program before
+    /// executing and fails the job with SimError unless
+    /// lower <= dynamic <= upper holds for both total cycles and HBM
+    /// bytes afterwards.  Bytecode mode only (validateRunOptions
+    /// rejects TraceIr: there is no Program to bound).  The check is
+    /// host-side; results of passing runs are bit-identical.
+    bool boundsCheck = false;
     /// Optional caller-owned phase-result cache (sim/phase_cache.h),
     /// honoured by the bytecode engine only.  Thread-safe: one cache may
     /// be shared across concurrent runs.  Results are bit-identical with

@@ -5,6 +5,8 @@
 
 #include "trace/trace.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace ufc {
@@ -113,6 +115,35 @@ contentHash(const Trace &tr)
     for (const auto &mark : tr.phases)
         hasher.phase(mark);
     return hasher.finish();
+}
+
+std::vector<PhaseRegion>
+phaseRegions(const Trace &tr)
+{
+    std::vector<PhaseRegion> out;
+    // Stack of indices into `out` for the currently open regions.
+    std::vector<std::size_t> open;
+    for (const PhaseMark &mark : tr.phases) {
+        const u64 at = std::min<u64>(mark.opIndex, tr.ops.size());
+        if (mark.begin) {
+            PhaseRegion r;
+            r.begin = at;
+            r.end = tr.ops.size(); // provisional: until the close mark
+            r.name = mark.name;
+            r.depth = static_cast<int>(open.size());
+            open.push_back(out.size());
+            out.push_back(std::move(r));
+        } else if (!open.empty()) {
+            out[open.back()].end = at;
+            open.pop_back();
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PhaseRegion &a, const PhaseRegion &b) {
+                  return a.begin != b.begin ? a.begin < b.begin
+                                            : a.depth < b.depth;
+              });
+    return out;
 }
 
 u64

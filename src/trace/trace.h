@@ -135,6 +135,27 @@ struct Trace
     u64 totalOps() const;
 };
 
+/**
+ * A phase mark pair resolved to a half-open op range: ops
+ * [begin, end) lie inside the region named `name`, nested `depth`
+ * regions deep (0 = outermost).  Tolerant of malformed mark streams —
+ * unclosed regions extend to the end of the op stream and stray end
+ * marks are ignored (the phase-discipline lint pass reports both) — so
+ * consumers (CFG recovery, timeline grouping) always get a
+ * well-formed, properly nested region list.
+ */
+struct PhaseRegion
+{
+    u64 begin = 0;
+    u64 end = 0;
+    std::string name;
+    int depth = 0;
+};
+
+/** Resolve a trace's phase marks into nested regions, sorted by
+ *  (begin, depth). */
+std::vector<PhaseRegion> phaseRegions(const Trace &tr);
+
 namespace detail {
 
 /// FNV-1a constants shared by the trace content hash, the compiler's
